@@ -1,0 +1,52 @@
+// Ablation: KNL mesh cluster modes (the paper's evaluation fixes quadrant
+// mode, section 3.3; future-work section asks about configuration impact).
+// Latency-bound kernels feel the mesh-trip delta; bandwidth-bound ones do
+// not — quantifying why quadrant is a safe default.
+#include <iostream>
+
+#include "common.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/sptrsv.hpp"
+#include "kernels/stream.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Ablation", "KNL cluster modes: quadrant vs all-to-all vs SNC-4");
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"kernel", "quadrant_gflops", "all_to_all_gflops", "snc4_gflops",
+              "a2a_delta", "snc4_delta"});
+
+  const kernels::SptrsvShape trsv{.rows = 2e6, .nnz = 1.6e7, .locality = 0.5,
+                                  .avg_parallelism = 300.0, .levels = 6000.0};
+  const kernels::SpmvShape spmv{.rows = 2e6, .nnz = 2e7, .locality = 0.4, .row_cv = 0.5};
+
+  auto run = [&](const std::string& name, auto model_for) {
+    double g[3];
+    int i = 0;
+    for (auto cm : {sim::ClusterMode::kQuadrant, sim::ClusterMode::kAllToAll,
+                    sim::ClusterMode::kSnc4}) {
+      const sim::Platform p = sim::knl(sim::McdramMode::kFlat, cm);
+      g[i++] = kernels::predict(p, model_for(p)).gflops;
+    }
+    csv.row(name, util::format_fixed(g[0], 2), util::format_fixed(g[1], 2),
+            util::format_fixed(g[2], 2),
+            util::format_fixed(100.0 * (g[1] / g[0] - 1.0), 1) + "%",
+            util::format_fixed(100.0 * (g[2] / g[0] - 1.0), 1) + "%");
+  };
+
+  run("SpTRSV(latency-bound)",
+      [&](const sim::Platform& p) { return kernels::sptrsv_model(p, trsv); });
+  run("SpMV", [&](const sim::Platform& p) { return kernels::spmv_model(p, spmv); });
+  run("Stream(400MB)",
+      [&](const sim::Platform& p) { return kernels::stream_model(p, 4e8 / 24.0); });
+
+  bench::shape_note(
+      "Latency-bound SpTRSV loses several percent under all-to-all and gains under SNC-4; "
+      "bandwidth-saturating Stream is nearly indifferent. This supports the paper's choice "
+      "of quadrant mode as the no-NUMA-effort default and quantifies the headroom its "
+      "future-work question (OS/configuration impact) asks about.");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: the MCDRAM cache is direct-mapped; how much of its capacity
+// is effectively lost to conflicts? Two views: (a) exact trace-driven
+// conflict counts, direct-mapped vs 8-way at equal capacity; (b) the
+// analytical model's direct_mapped_factor sweep on the Stencil curve.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "kernels/stencil.hpp"
+#include "sim/cache.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Ablation", "Direct-mapped MCDRAM cache: conflict cost");
+
+  // (a) exact simulation on a mixed working set (two interleaved regions
+  // that collide in a direct-mapped array but coexist in a set-assoc one).
+  {
+    util::Xoshiro256 rng(5);
+    std::vector<std::uint64_t> trace;
+    const std::uint64_t cap = 1 * util::MiB;
+    for (int i = 0; i < 60000; ++i) {
+      const std::uint64_t offset = rng.bounded(cap / 2) & ~63ull;
+      trace.push_back(offset);            // region A
+      trace.push_back(offset + cap);      // region B: same sets when DM
+    }
+    sim::SetAssociativeCache dm({.name = "dm", .capacity = cap, .line_size = 64,
+                                 .associativity = 1});
+    sim::SetAssociativeCache sa({.name = "sa", .capacity = cap, .line_size = 64,
+                                 .associativity = 8});
+    for (auto a : trace) {
+      dm.access(a, false);
+      sa.access(a, false);
+    }
+    std::cout << "\ntrace-driven, 1 MB cache, working set = capacity, adversarial layout:\n"
+              << "  direct-mapped hit rate: " << util::format_fixed(dm.stats().hit_rate(), 3)
+              << "\n  8-way          hit rate: " << util::format_fixed(sa.stats().hit_rate(), 3)
+              << "\n";
+  }
+
+  // (b) the model's capacity-derating knob on KNL cache-mode Stencil.
+  std::cout << "\nmodel sweep: effective-capacity factor of the 16 GB MCDRAM cache\n";
+  util::CsvWriter csv(std::cout);
+  csv.header({"direct_mapped_factor", "stencil_20GB_gflops"});
+  const sim::Platform cache_mode = sim::knl(sim::McdramMode::kCache);
+  for (double factor : {0.4, 0.5, 0.6, 0.8, 1.0}) {
+    kernels::LocalityModel m = kernels::stencil_model(cache_mode, std::cbrt(20e9 / 16.0));
+    m.direct_mapped_factor = factor;
+    csv.row(factor, util::format_fixed(kernels::predict(cache_mode, m).gflops, 1));
+  }
+
+  bench::shape_note(
+      "An adversarial layout halves the direct-mapped hit rate against 8-way at equal "
+      "capacity; the model's 0.6 derating (used for every MCDRAM-cache prediction) sits "
+      "between the adversarial and conflict-free extremes. At 20 GB footprints the factor "
+      "decides how early the MCDRAM cache-mode curve falls off — the Figure 24 cliff.");
+  return 0;
+}

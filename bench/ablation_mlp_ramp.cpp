@@ -1,0 +1,51 @@
+// Ablation: the MLP ramp is the model ingredient that creates cache
+// valleys. With latency effects disabled (a hypothetical machine whose
+// channels are purely bandwidth-limited) the valleys disappear and the
+// curve degenerates to plain staircase steps — showing the ramp is
+// load-bearing for reproducing Figure 6/12's shape, not decoration.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/stepping.hpp"
+#include "kernels/stream.hpp"
+#include "util/format.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Ablation", "Cache valleys require the MLP ramp (latency-boundedness)");
+
+  const sim::Platform with_latency = sim::broadwell(sim::EdramMode::kOff);
+  sim::Platform no_latency = with_latency;
+  for (auto& tier : no_latency.tiers) tier.latency = 1e-15;  // effectively free
+  for (auto& dev : no_latency.devices) dev.latency = 1e-15;
+  no_latency.mode_label = "no latency limits";
+
+  std::vector<util::Series> series;
+  std::size_t valleys[2] = {0, 0};
+  int i = 0;
+  const std::vector<const sim::Platform*> variants = {&with_latency, &no_latency};
+  for (const sim::Platform* p : variants) {
+    const auto factory = [p](double fp) { return kernels::stream_model(*p, fp / 24.0); };
+    const auto curve = core::sweep_footprint(*p, factory, 64.0 * util::KiB,
+                                             1.0 * util::GiB, 128, p->mode_label);
+    valleys[i++] = core::analyze_curve(curve).valleys.size();
+    util::Series s{p->mode_label, {}, {}};
+    for (std::size_t k = 0; k < curve.footprint_bytes.size(); ++k) {
+      s.x.push_back(curve.footprint_bytes[k] / (1024.0 * 1024.0));
+      s.y.push_back(curve.gflops[k]);
+    }
+    series.push_back(std::move(s));
+  }
+
+  std::cout << util::render_line_plot(series, 72, 14, true, "footprint [MB]", "GFlop/s");
+  std::cout << "valleys with latency modelling: " << valleys[0]
+            << "; with free latency: " << valleys[1] << "\n";
+
+  bench::shape_note(
+      "The paper attributes valleys to 'memory-level parallelism insufficient to saturate "
+      "the bandwidth of the lower memory hierarchy' (Figure 6). Removing latency (so MLP "
+      "cannot matter) removes the valleys while the capacity staircase remains — the "
+      "stated mechanism, isolated.");
+  return 0;
+}

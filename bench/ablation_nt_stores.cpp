@@ -1,0 +1,56 @@
+// Ablation: non-temporal (streaming) stores on TRIAD. The appendix builds
+// STREAM with icc flags that emit movnt stores; whether the write stream
+// pays a read-for-ownership decides between 32 and 24 bytes per element —
+// a 4/3 difference in every memory-bound plateau.
+#include <iostream>
+
+#include "common.hpp"
+#include "kernels/stream.hpp"
+#include "sim/memory_system.hpp"
+#include "trace/recorder.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Ablation", "Non-temporal stores: TRIAD with and without the RFO");
+
+  // Exact traffic on the trace-driven Broadwell.
+  const std::size_t n = (1 * util::MiB) / 8;
+  std::vector<double> a(n), b(n), c(n);
+  sim::MemorySystem regular(sim::broadwell(sim::EdramMode::kOff));
+  trace::SystemRecorder rec(regular);
+  kernels::stream_triad_instrumented(a, b, c, 1.0, rec);
+  sim::MemorySystem nt(sim::broadwell(sim::EdramMode::kOff));
+  kernels::stream_triad_nt(a, b, c, 1.0, nt);
+
+  const auto rep_reg = regular.report();
+  const auto rep_nt = nt.report();
+  std::cout << "\ntrace-driven DDR lines (1 MB triad):\n"
+            << "  regular stores: demand " << rep_reg.devices.back().hits << " + writeback "
+            << rep_reg.devices.back().writebacks << "\n"
+            << "  NT stores:      demand " << rep_nt.devices.back().hits << " + writeback "
+            << rep_nt.devices.back().writebacks << "\n";
+
+  // Model plateaus across the footprint sweep.
+  const sim::Platform p = sim::broadwell(sim::EdramMode::kOff);
+  std::cout << "\ncsv:nt_plateaus\n";
+  util::CsvWriter csv(std::cout);
+  csv.header({"footprint_mb", "gflops_regular", "gflops_nt", "ratio"});
+  for (double fp = 64.0 * util::MiB; fp <= 2.0 * util::GiB; fp *= 4.0) {
+    const double reg =
+        kernels::predict(p, kernels::stream_model(p, fp / 24.0, false)).gflops;
+    const double ntg = kernels::predict(p, kernels::stream_model(p, fp / 24.0, true)).gflops;
+    csv.row(util::format_fixed(fp / (1024.0 * 1024.0), 0), util::format_fixed(reg, 3),
+            util::format_fixed(ntg, 3), util::format_fixed(ntg / reg, 3));
+  }
+
+  bench::shape_note(
+      "NT stores remove one third of TRIAD's demand traffic (the output array's RFO) and "
+      "lift every memory-bound plateau by exactly 4/3. The paper's Table 2 counts 32n "
+      "bytes (write-allocate semantics); reproducing its absolute Stream plateaus is "
+      "insensitive to this choice because both the with- and without-OPM configurations "
+      "shift together.");
+  return 0;
+}

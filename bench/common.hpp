@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/platform.hpp"
+#include "sparse/collection.hpp"
+#include "util/ascii_plot.hpp"
+
+/// Shared plumbing for the figure-reproduction harnesses.
+///
+/// Every harness prints: a banner identifying the paper artifact, a CSV
+/// block for downstream plotting, an ASCII rendition of the figure's
+/// shape, and a "paper vs reproduced" note block.
+namespace opm::bench {
+
+/// Prints the standard banner for one paper artifact.
+void banner(const std::string& artifact, const std::string& title);
+
+/// Prints a closing block comparing the paper's claim with what this
+/// harness produced (free text; each harness states its own checks).
+void shape_note(const std::string& note);
+
+/// The 968-matrix suite, constructed once per process.
+const sparse::SyntheticCollection& paper_suite();
+
+/// Renders a dense (n, nb) sweep as the Figure 7/8/15/16 heat map:
+/// matrix order on x, tile size on y, mean GFlop/s as color.
+void print_dense_heatmap(const std::string& label, const std::vector<core::SweepPoint>& points);
+
+/// Emits the dense sweep as CSV (n, nb, gflops).
+void print_dense_csv(const std::string& label, const std::vector<core::SweepPoint>& points);
+
+/// Renders the sparse "triptych" of Figures 9-11: raw throughput scatter
+/// vs footprint, speedup vs footprint against a baseline, and the
+/// structure heat map over (nonzeros, rows) in log space.
+void print_sparse_triptych(const std::string& kernel, const std::string& base_label,
+                           const std::vector<core::SweepPoint>& base,
+                           const std::string& opm_label,
+                           const std::vector<core::SweepPoint>& opm);
+
+/// Renders just the structure heat map (Figures 20-22).
+void print_structure_heatmap(const std::string& label,
+                             const std::vector<core::SweepPoint>& points);
+
+/// Renders footprint-sweep curves (Figures 12-14, 23-25) for several
+/// modes; `series` x is footprint bytes, y is GFlop/s.
+void print_footprint_curves(const std::string& y_label,
+                            const std::vector<util::Series>& series);
+
+/// Per-mode footprint sweep helper: runs `kernel` on each platform and
+/// names the series by the platform's mode label.
+std::vector<util::Series> footprint_series(const std::vector<sim::Platform>& platforms,
+                                           core::KernelId kernel, double fp_lo, double fp_hi,
+                                           std::size_t points);
+
+/// The four KNL mode platforms in the paper's order (DDR, cache, flat,
+/// hybrid).
+std::vector<sim::Platform> knl_modes();
+
+/// Broadwell with and without eDRAM.
+std::vector<sim::Platform> broadwell_modes();
+
+}  // namespace opm::bench

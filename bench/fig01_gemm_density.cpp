@@ -1,0 +1,48 @@
+// Reproduces Figure 1: probability density of achievable GEMM throughput
+// over 1024 (size, tiling) samples, with and without eDRAM.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/density.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 1", "GEMM achievable-throughput density, w/ vs w/o eDRAM (1024 samples)");
+
+  const core::DensityResult off = core::gemm_density(sim::broadwell(sim::EdramMode::kOff),
+                                                     1024, 0xF1);
+  const core::DensityResult on = core::gemm_density(sim::broadwell(sim::EdramMode::kOn),
+                                                    1024, 0xF1);
+
+  std::cout << "\ncsv:density\n";
+  util::CsvWriter csv(std::cout);
+  csv.header({"gflops", "density_wo_edram", "density_w_edram"});
+  // The two KDEs share sample count but not grids; emit both grids.
+  for (std::size_t i = 0; i < off.density.x.size(); ++i)
+    csv.row(util::format_fixed(off.density.x[i], 2),
+            util::format_fixed(off.density.density[i], 6), "");
+  for (std::size_t i = 0; i < on.density.x.size(); ++i)
+    csv.row(util::format_fixed(on.density.x[i], 2), "",
+            util::format_fixed(on.density.density[i], 6));
+
+  util::Series s_off{"w/o eDRAM", off.density.x, off.density.density};
+  util::Series s_on{"w/ eDRAM", on.density.x, on.density.density};
+  const util::Series series[] = {s_on, s_off};
+  std::cout << "\n" << util::render_line_plot(series, 72, 14, false, "GFlop/s", "density");
+
+  std::cout << "\nbest w/o eDRAM: " << util::format_fixed(off.best_gflops, 1)
+            << " GFlop/s, near-peak fraction " << util::format_fixed(off.near_peak_fraction, 3)
+            << "\nbest w/  eDRAM: " << util::format_fixed(on.best_gflops, 1)
+            << " GFlop/s, near-peak fraction " << util::format_fixed(on.near_peak_fraction, 3)
+            << "\n";
+
+  bench::shape_note(
+      "Paper: with eDRAM the curve shifts upper-right (more samples reach >=90% of peak) "
+      "while the right boundary (raw peak) barely moves. Reproduced: near-peak fraction " +
+      util::format_fixed(off.near_peak_fraction, 3) + " -> " +
+      util::format_fixed(on.near_peak_fraction, 3) + ", peak moves only " +
+      util::format_fixed(100.0 * (on.best_gflops / off.best_gflops - 1.0), 2) + "%.");
+  return 0;
+}

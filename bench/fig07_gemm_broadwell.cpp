@@ -1,0 +1,42 @@
+// Reproduces Figure 7: GEMM throughput heat maps on Broadwell over
+// (matrix order, tile size), with and without eDRAM.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 7", "GEMM on Broadwell: (order, tile) heat maps, w/o vs w/ eDRAM");
+
+  const auto sweep = [](const sim::Platform& p) {
+    // Appendix A.2.1: n in {256..16128 step 512}, nb in {128..4096 step 128}.
+    return core::sweep_dense(p, core::KernelId::kGemm, 256, 16128, 512, 128, 4096, 128);
+  };
+  const auto off = sweep(sim::broadwell(sim::EdramMode::kOff));
+  const auto on = sweep(sim::broadwell(sim::EdramMode::kOn));
+
+  bench::print_dense_heatmap("GFlop/s w/o eDRAM", off);
+  bench::print_dense_heatmap("GFlop/s w/ eDRAM", on);
+  bench::print_dense_csv("gemm_broadwell_wo_edram", off);
+  bench::print_dense_csv("gemm_broadwell_w_edram", on);
+
+  double best_off = 0.0, best_on = 0.0;
+  std::size_t near_off = 0, near_on = 0;
+  for (const auto& p : off) best_off = std::max(best_off, p.gflops);
+  for (const auto& p : on) best_on = std::max(best_on, p.gflops);
+  for (const auto& p : off)
+    if (p.gflops >= 0.85 * best_off) ++near_off;
+  for (const auto& p : on)
+    if (p.gflops >= 0.85 * best_on) ++near_on;
+
+  bench::shape_note(
+      "Paper: peak barely moves (204.5 -> 206.1 GFlop/s, +0.8%) but the near-peak region "
+      "expands with eDRAM; the heated area sits at large n; tiling impact correlates with "
+      "problem size (triangular shape). Reproduced: peak " +
+      util::format_fixed(best_off, 1) + " -> " + util::format_fixed(best_on, 1) +
+      " GFlop/s (+" + util::format_fixed(100.0 * (best_on / best_off - 1.0), 1) +
+      "%), configurations at >=85% of peak " + std::to_string(near_off) + " -> " +
+      std::to_string(near_on) + ".");
+  return 0;
+}

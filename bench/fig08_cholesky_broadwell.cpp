@@ -1,0 +1,37 @@
+// Reproduces Figure 8: Cholesky throughput heat maps on Broadwell.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 8", "Cholesky on Broadwell: (order, tile) heat maps, w/o vs w/ eDRAM");
+
+  const auto sweep = [](const sim::Platform& p) {
+    return core::sweep_dense(p, core::KernelId::kCholesky, 256, 16128, 512, 128, 4096, 128);
+  };
+  const auto off = sweep(sim::broadwell(sim::EdramMode::kOff));
+  const auto on = sweep(sim::broadwell(sim::EdramMode::kOn));
+
+  bench::print_dense_heatmap("GFlop/s w/o eDRAM", off);
+  bench::print_dense_heatmap("GFlop/s w/ eDRAM", on);
+  bench::print_dense_csv("cholesky_broadwell_wo_edram", off);
+  bench::print_dense_csv("cholesky_broadwell_w_edram", on);
+
+  double best_off = 0.0, best_on = 0.0;
+  double max_speedup = 0.0;
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    best_off = std::max(best_off, off[i].gflops);
+    best_on = std::max(best_on, on[i].gflops);
+    max_speedup = std::max(max_speedup, on[i].gflops / off[i].gflops);
+  }
+
+  bench::shape_note(
+      "Paper: peak 184.3 -> 192.6 GFlop/s (+4.5%), larger than GEMM's gain because "
+      "Cholesky's tiling is less cache-optimal; max speedup reaches 3.54x for bad "
+      "configurations. Reproduced: peak " +
+      util::format_fixed(best_off, 1) + " -> " + util::format_fixed(best_on, 1) +
+      " GFlop/s, max per-configuration speedup " + util::format_speedup(max_speedup) + ".");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Figure 9: SpMV on Broadwell over the 968-matrix suite —
+// raw throughput scatter, eDRAM speedup, and structure heat map.
+#include "common.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 9", "SpMV (CSR5) on Broadwell over 968 matrices, w/o vs w/ eDRAM");
+
+  const auto& suite = bench::paper_suite();
+  const auto off =
+      core::sweep_sparse(sim::broadwell(sim::EdramMode::kOff), core::KernelId::kSpmv, suite);
+  const auto on =
+      core::sweep_sparse(sim::broadwell(sim::EdramMode::kOn), core::KernelId::kSpmv, suite);
+
+  bench::print_sparse_triptych("SpMV", "w/o eDRAM", off, "w/ eDRAM", on);
+
+  bench::shape_note(
+      "Paper: L3 cache peak near 4 MB footprints in both configurations; beyond the L3 "
+      "valley the w/-eDRAM points rise to an eDRAM cache peak and then fall once footprints "
+      "exceed the eDRAM; the speedup>1 band (the eDRAM effective region) sits between the "
+      "L3 plateau and the DRAM plateau; structurally, small-row matrices (better vector "
+      "caching) are the fastest (reddest at low rows). All visible in the panels above.");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Figure 10: SpTRANS (ScanTrans) on Broadwell over the suite.
+#include "common.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 10", "SpTRANS (ScanTrans) on Broadwell over 968 matrices");
+
+  const auto& suite = bench::paper_suite();
+  const auto off = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOff),
+                                      core::KernelId::kSptrans, suite, /*merge_based=*/false);
+  const auto on = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOn),
+                                     core::KernelId::kSptrans, suite, /*merge_based=*/false);
+
+  bench::print_sparse_triptych("SpTRANS", "w/o eDRAM", off, "w/ eDRAM", on);
+
+  bench::shape_note(
+      "Paper: the L3 peak is less pronounced than SpMV's but the eDRAM cache peak is "
+      "clear; SpTRANS has little data reuse, so the best-performing matrices are the "
+      "small ones in BOTH dimensions (small rows and small nnz — lower-left of the "
+      "structure map).");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Figure 12: Stream (TRIAD) on Broadwell across array sizes.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/stepping.hpp"
+#include "kernels/stream.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 12", "Stream (TRIAD) on Broadwell, footprint sweep, w/o vs w/ eDRAM");
+
+  // Appendix A.2.8: array sizes 2^4 .. 2^24 doubles (footprint 384 B .. 400 MB).
+  const auto series = bench::footprint_series(bench::broadwell_modes(), core::KernelId::kStream,
+                                              16.0 * 1024, double(1 << 24) * 24.0, 96);
+  bench::print_footprint_curves("GFlop/s", series);
+
+  // Feature check on both curves.
+  for (const auto& p : bench::broadwell_modes()) {
+    const auto factory = [&p](double fp) { return kernels::stream_model(p, fp / 24.0); };
+    const auto curve = core::sweep_footprint(p, factory, 16.0 * 1024, double(1 << 24) * 24.0, 96);
+    const auto f = core::analyze_curve(curve);
+    std::cout << p.mode_label << ": peaks=" << f.peaks.size()
+              << " valleys=" << f.valleys.size()
+              << " plateau=" << util::format_fixed(f.final_plateau_gflops, 2) << " GFlop/s\n";
+  }
+
+  bench::shape_note(
+      "Paper: clear L2 and L3 cache peaks in both configurations; without eDRAM an L3 "
+      "valley precedes the DDR plateau; with eDRAM the valley is followed by an eDRAM "
+      "cache peak before throughput drops at poor eDRAM hit rates. The w/-eDRAM curve "
+      "dominates between L3 and eDRAM capacity and both converge on the DDR plateau.");
+  return 0;
+}

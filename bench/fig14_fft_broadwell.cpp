@@ -1,0 +1,34 @@
+// Reproduces Figure 14: 3D FFT on Broadwell across dataset sizes.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 14", "3D FFT on Broadwell, dataset-size sweep");
+
+  // Appendix A.2.7: 3D sizes 96^3 .. 592^3 complex doubles (13 MB .. 3 GB).
+  const auto series = bench::footprint_series(bench::broadwell_modes(), core::KernelId::kFft,
+                                              4.0 * 1024 * 1024, 3.2e9, 80);
+  bench::print_footprint_curves("GFlop/s", series);
+
+  // Find where the curves diverge, the widest gap, and the far-right gap.
+  double diverge_mb = 0.0, widest = 0.0;
+  for (std::size_t i = 0; i < series[0].x.size(); ++i) {
+    const double r = series[1].y[i] / std::max(series[0].y[i], 1e-9);
+    if (diverge_mb == 0.0 && r > 1.10) diverge_mb = series[0].x[i];
+    widest = std::max(widest, r);
+  }
+  const double final_ratio = series[1].y.back() / std::max(series[0].y.back(), 1e-9);
+  bench::shape_note(
+      "Paper: L3 cache peak at ~6 MB; without eDRAM a clear valley follows; with eDRAM a "
+      "second sweet spot (eDRAM cache peak ~2^14 KB) appears; beyond ~128 MB the curves "
+      "converge. Reproduced: divergence at ~" +
+      util::format_fixed(diverge_mb, 0) + " MB, widest gap " + util::format_speedup(widest) +
+      ", narrowing to " + util::format_speedup(final_ratio) +
+      " at 3 GB (our multi-pass model keeps a residual eDRAM benefit for out-of-core FFTs "
+      "— a larger cache genuinely reduces dataset passes — where FFTW's measured curves "
+      "converge fully; see EXPERIMENTS.md).");
+  return 0;
+}

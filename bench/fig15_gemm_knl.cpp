@@ -1,0 +1,36 @@
+// Reproduces Figure 15: GEMM heat maps on KNL under the four MCDRAM modes.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 15", "GEMM on KNL: (order, tile) heat maps for all four MCDRAM modes");
+
+  // Appendix A.2.1: n in {256..32000 step 1024}, nb in {128..4096 step 128}.
+  double best[4] = {0, 0, 0, 0};
+  int i = 0;
+  std::vector<std::vector<core::SweepPoint>> sweeps;
+  for (const auto& p : bench::knl_modes()) {
+    auto points = core::sweep_dense(p, core::KernelId::kGemm, 256, 32000, 1024, 128, 4096, 256);
+    for (const auto& pt : points) best[i] = std::max(best[i], pt.gflops);
+    bench::print_dense_heatmap("GFlop/s " + p.mode_label, points);
+    sweeps.push_back(std::move(points));
+    ++i;
+  }
+  bench::print_dense_csv("gemm_knl_ddr", sweeps[0]);
+  bench::print_dense_csv("gemm_knl_cache", sweeps[1]);
+  bench::print_dense_csv("gemm_knl_flat", sweeps[2]);
+  bench::print_dense_csv("gemm_knl_hybrid", sweeps[3]);
+
+  bench::shape_note(
+      "Paper (Table 5 row GEMM): peaks 1425.5 (DDR) / 1483.4 (cache) / 1404.0 (flat) / "
+      "1544.4 (hybrid) GFlop/s — cache mode adds a little, flat mode LOSES at large n "
+      "because footprints beyond 16 GB straddle MCDRAM+DDR, and hybrid wins since GEMM's "
+      "blocked hot set fits the 8 GB cache half. Reproduced peaks: DDR " +
+      util::format_fixed(best[0], 0) + ", cache " + util::format_fixed(best[1], 0) +
+      ", flat " + util::format_fixed(best[2], 0) + ", hybrid " +
+      util::format_fixed(best[3], 0) + " GFlop/s.");
+  return 0;
+}

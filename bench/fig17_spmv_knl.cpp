@@ -1,0 +1,30 @@
+// Reproduces Figure 17: SpMV on KNL — raw throughput and speedups of the
+// three MCDRAM modes against DDR over the 968-matrix suite.
+#include "common.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 17", "SpMV (CSR5) on KNL over 968 matrices, all MCDRAM modes vs DDR");
+
+  const auto& suite = bench::paper_suite();
+  const auto ddr =
+      core::sweep_sparse(sim::knl(sim::McdramMode::kOff), core::KernelId::kSpmv, suite);
+  const auto flat =
+      core::sweep_sparse(sim::knl(sim::McdramMode::kFlat), core::KernelId::kSpmv, suite);
+  const auto cache =
+      core::sweep_sparse(sim::knl(sim::McdramMode::kCache), core::KernelId::kSpmv, suite);
+  const auto hybrid =
+      core::sweep_sparse(sim::knl(sim::McdramMode::kHybrid), core::KernelId::kSpmv, suite);
+
+  bench::print_sparse_triptych("SpMV(flat)", "DDR", ddr, "MCDRAM flat", flat);
+  bench::print_sparse_triptych("SpMV(cache)", "DDR", ddr, "MCDRAM cache", cache);
+  bench::print_sparse_triptych("SpMV(hybrid)", "DDR", ddr, "MCDRAM hybrid", hybrid);
+
+  bench::shape_note(
+      "Paper: the L2 cache peak sits near 32 MB; beyond it the DDR curve drops to the "
+      "DRAM plateau while the three MCDRAM modes climb back toward the MCDRAM throughput "
+      "peak; the three modes are nearly indistinguishable because most UF footprints are "
+      "far below 8 GB (Table 5: 1.572/1.623/1.610x average). The three triptychs above "
+      "show near-identical mode curves and the same effective region.");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Figure 25: 3D FFT on KNL across the four modes.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 25", "3D FFT on KNL, dataset sweep, all four modes");
+
+  // Appendix A.2.7: 96^3 .. 1088^3 complex doubles (13 MB .. 20 GB) —
+  // crossing the MCDRAM capacity, where flat mode falls off.
+  const auto series = bench::footprint_series(bench::knl_modes(), core::KernelId::kFft,
+                                              13.0 * 1024 * 1024, 22.0 * 1024 * 1024 * 1024.0,
+                                              96);
+  bench::print_footprint_curves("GFlop/s", series);
+
+  auto last = [](const util::Series& s) { return s.y.back(); };
+  bench::shape_note(
+      "Paper: the four modes diverge from a common point near 8 MB; MCDRAM modes show a "
+      "clear advantage; beyond ~16 GB the flat-mode curve drops while cache and hybrid "
+      "hold higher throughput (the hardware-managed cache shifts with the hotspot). "
+      "Reproduced at 22 GB: flat " +
+      util::format_fixed(last(series[2]), 1) + " < cache " +
+      util::format_fixed(last(series[1]), 1) + " GFlop/s.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 28: eDRAM tuning via the Stepping Model — the
+// performance-effective region (PER) and the Eq. 1 energy-effective
+// region (EER).
+#include <iostream>
+
+#include "common.hpp"
+#include "core/advisor.hpp"
+#include "core/stepping.hpp"
+#include "sim/power.hpp"
+#include "util/format.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace opm;
+  bench::banner("Figure 28", "eDRAM tuning guideline: PER and EER via the Stepping Model");
+
+  const sim::Platform off = sim::broadwell(sim::EdramMode::kOff);
+  const sim::Platform on = sim::broadwell(sim::EdramMode::kOn);
+  const auto factory_off = core::schematic_kernel(off, 0.3);
+  const auto factory_on = core::schematic_kernel(on, 0.3);
+  const auto c_off =
+      core::sweep_footprint(off, factory_off, 256.0 * util::KiB, 8.0 * util::GiB, 128);
+  const auto c_on =
+      core::sweep_footprint(on, factory_on, 256.0 * util::KiB, 8.0 * util::GiB, 128);
+
+  util::Series s_off{"w/o eDRAM", {}, {}};
+  util::Series s_on{"w/ eDRAM", {}, {}};
+  for (std::size_t i = 0; i < c_off.footprint_bytes.size(); ++i) {
+    s_off.x.push_back(c_off.footprint_bytes[i] / (1024.0 * 1024.0));
+    s_off.y.push_back(c_off.gflops[i]);
+    s_on.x.push_back(c_on.footprint_bytes[i] / (1024.0 * 1024.0));
+    s_on.y.push_back(c_on.gflops[i]);
+  }
+  const util::Series series[] = {s_on, s_off};
+  std::cout << util::render_line_plot(series, 72, 14, true, "footprint [MB]", "GFlop/s");
+
+  // PER from the hierarchy, EER from Eq. 1 applied point-wise.
+  const core::EffectiveRegion per = core::edram_effective_region(on);
+  std::cout << "\nperformance-effective region (PER): "
+            << util::format_bytes(static_cast<std::uint64_t>(per.lo_bytes)) << " .. "
+            << util::format_bytes(static_cast<std::uint64_t>(per.hi_bytes)) << "\n";
+
+  double eer_lo = 0.0, eer_hi = 0.0;
+  for (std::size_t i = 0; i < c_off.footprint_bytes.size(); ++i) {
+    const double gain = c_on.gflops[i] / std::max(c_off.gflops[i], 1e-9) - 1.0;
+    const bool saves = sim::opm_saves_energy(gain, 0.086);
+    if (saves && eer_lo == 0.0) eer_lo = c_off.footprint_bytes[i];
+    if (saves) eer_hi = c_off.footprint_bytes[i];
+  }
+  std::cout << "energy-effective region (EER, Eq.1 at +8.6% power): "
+            << util::format_bytes(static_cast<std::uint64_t>(eer_lo)) << " .. "
+            << util::format_bytes(static_cast<std::uint64_t>(eer_hi)) << "\n";
+
+  bench::shape_note(
+      "Paper: the eDRAM forms a cache peak between the L3 plateau and DDR plateau; the "
+      "EER is NARROWER than the PER (a gain must exceed the 8.6% power cost to save "
+      "energy); performance users should keep eDRAM on (it never degrades), energy users "
+      "only when their footprint falls in the EER. Both regions are printed above, with "
+      "EER strictly inside PER.");
+  return 0;
+}

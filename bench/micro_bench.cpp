@@ -1,0 +1,197 @@
+// Google-benchmark microbenchmarks for the library's hot paths: the cache
+// simulator, reuse-distance analysis, and the real kernel implementations.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "kernels/csr5.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/sptrans.hpp"
+#include "kernels/sptrsv.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/stream.hpp"
+#include "sim/memory_system.hpp"
+#include "sparse/generators.hpp"
+#include "kernels/parallel.hpp"
+#include "trace/reuse.hpp"
+#include "trace/sampler.hpp"
+#include "util/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace opm;
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::SetAssociativeCache cache({.name = "L2", .capacity = 256 * 1024, .line_size = 64,
+                                  .associativity = 8});
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.bounded(1 << 20) * 64;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095], false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_MemorySystemWalk(benchmark::State& state) {
+  sim::MemorySystem ms(sim::broadwell(sim::EdramMode::kOn));
+  util::Xoshiro256 rng(2);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.bounded(1 << 24) * 64;
+  std::size_t i = 0;
+  for (auto _ : state) ms.load(addrs[i++ & 4095], 8);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemorySystemWalk);
+
+void BM_ReuseDistance(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.bounded(1 << 16) * 64;
+  for (auto _ : state) {
+    state.PauseTiming();
+    trace::ReuseDistanceAnalyzer analyzer;
+    state.ResumeTiming();
+    for (auto a : addrs) analyzer.touch(a, 8);
+    benchmark::DoNotOptimize(analyzer.cold_misses());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ReuseDistance);
+
+void BM_GemmTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dense::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(4);
+  b.fill_random(5);
+  for (auto _ : state) {
+    kernels::gemm_tiled(a, b, c, 32);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTiled)->Arg(64)->Arg(128);
+
+void BM_SpmvCsrVsCsr5(benchmark::State& state) {
+  const bool csr5 = state.range(0) != 0;
+  const sparse::Csr a = sparse::make_random_uniform(8192, 16.0, 6);
+  const kernels::Csr5Matrix m = kernels::Csr5Matrix::build(a);
+  std::vector<double> x(8192, 1.0), y(8192);
+  for (auto _ : state) {
+    if (csr5)
+      m.spmv(x, y);
+    else
+      kernels::spmv_csr(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 2);
+}
+BENCHMARK(BM_SpmvCsrVsCsr5)->Arg(0)->Arg(1);
+
+void BM_SptransScan(benchmark::State& state) {
+  const sparse::Csr a = sparse::make_rmat(4096, 8.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::sptrans_scan(a, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SptransScan);
+
+void BM_SptrsvLevelset(benchmark::State& state) {
+  const sparse::Csr l = sparse::lower_triangle_with_diagonal(
+      sparse::make_random_uniform(8192, 8.0, 8), 2.0);
+  const kernels::LevelSchedule schedule = kernels::build_level_schedule(l);
+  std::vector<double> b(8192, 1.0), x(8192);
+  for (auto _ : state) {
+    kernels::sptrsv_levelset(l, schedule, b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_SptrsvLevelset);
+
+void BM_Fft1d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(9);
+  std::vector<kernels::cplx> data(n);
+  for (auto& v : data) v = {rng.uniform(), rng.uniform()};
+  for (auto _ : state) {
+    kernels::fft_1d(data, false);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft1d)->Arg(1024)->Arg(16384);
+
+void BM_StencilStep(benchmark::State& state) {
+  kernels::StencilGrid grid(48, 48, 48);
+  grid.seed(10);
+  for (auto _ : state) {
+    kernels::stencil_step(grid, 32, 32);
+    std::swap(grid.current, grid.previous);
+    benchmark::DoNotOptimize(grid.current.data());
+  }
+  state.SetItemsProcessed(state.iterations() * grid.cells());
+}
+BENCHMARK(BM_StencilStep);
+
+void BM_SpmvParallel(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool(workers);
+  const sparse::Csr a = sparse::make_random_uniform(16384, 16.0, 11);
+  std::vector<double> x(16384, 1.0), y(16384);
+  for (auto _ : state) {
+    kernels::spmv_csr_parallel(a, x, y, pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 2);
+}
+BENCHMARK(BM_SpmvParallel)->Arg(0)->Arg(2);
+
+void BM_SptrsvP2p(benchmark::State& state) {
+  const sparse::Csr l = sparse::lower_triangle_with_diagonal(
+      sparse::make_random_uniform(8192, 8.0, 8), 2.0);
+  std::vector<double> b(8192, 1.0), x(8192);
+  for (auto _ : state) {
+    kernels::sptrsv_p2p(l, b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_SptrsvP2p);
+
+void BM_SampledReuse(benchmark::State& state) {
+  util::Xoshiro256 rng(12);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.bounded(1 << 16) * 64;
+  for (auto _ : state) {
+    state.PauseTiming();
+    trace::SampledReuseAnalyzer analyzer(0.1);
+    state.ResumeTiming();
+    for (auto a : addrs) analyzer.touch(a, 8);
+    benchmark::DoNotOptimize(analyzer.sampled());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SampledReuse);
+
+void BM_StreamTriad(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  std::vector<double> a(n), b(n, 1.0), c(n, 2.0);
+  for (auto _ : state) {
+    kernels::stream_triad(a, b, c, 1.5);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 24);
+}
+BENCHMARK(BM_StreamTriad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

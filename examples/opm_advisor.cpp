@@ -1,0 +1,80 @@
+// opm_advisor: the paper's Section 6 guidelines as an interactive tool.
+//
+// Give it your application's data size, hot-working-set size and
+// latency-boundedness; it recommends the OPM configuration and shows the
+// stepping-model curve your footprint lands on.
+//
+//   ./build/examples/opm_advisor --footprint-gb=24 --hot-gb=4
+//   ./build/examples/opm_advisor --footprint-mb=64 --perf-gain=0.2
+//   ./build/examples/opm_advisor --footprint-gb=32 --latency-bound
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "core/stepping.hpp"
+#include "sim/platform.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace opm;
+  const util::Cli cli(argc, argv);
+
+  core::AppProfile app;
+  app.footprint_bytes = cli.get_double("footprint-gb", 0.0) * static_cast<double>(util::GiB);
+  if (app.footprint_bytes == 0.0)
+    app.footprint_bytes = cli.get_double("footprint-mb", 64.0) * static_cast<double>(util::MiB);
+  app.hot_set_bytes = cli.get_double("hot-gb", 0.0) * static_cast<double>(util::GiB);
+  if (app.hot_set_bytes == 0.0) app.hot_set_bytes = app.footprint_bytes / 4.0;
+  app.latency_bound = cli.has("latency-bound");
+  app.expected_perf_gain = cli.get_double("perf-gain", 0.15);
+  app.expected_power_increase = cli.get_double("power-cost", 0.086);
+
+  std::cout << "application profile: footprint "
+            << util::format_bytes(static_cast<std::uint64_t>(app.footprint_bytes))
+            << ", hot set " << util::format_bytes(static_cast<std::uint64_t>(app.hot_set_bytes))
+            << (app.latency_bound ? ", latency-bound" : ", bandwidth-bound") << "\n";
+
+  // --- KNL / MCDRAM advice ------------------------------------------------
+  const sim::Platform knl_flat = sim::knl(sim::McdramMode::kFlat);
+  const core::McdramRecommendation mcdram = core::advise_mcdram(knl_flat, app);
+  std::cout << "\nKNL MCDRAM recommendation: " << sim::to_string(mcdram.mode) << "\n  why: "
+            << mcdram.reason << "\n";
+
+  // --- Broadwell / eDRAM advice -------------------------------------------
+  const sim::Platform brd_on = sim::broadwell(sim::EdramMode::kOn);
+  const core::EdramRecommendation edram = core::advise_edram(brd_on, app);
+  std::cout << "\nBroadwell eDRAM recommendation:\n"
+            << "  for performance: " << (edram.enable_for_performance ? "enable" : "disable")
+            << "\n  for energy:      " << (edram.enable_for_energy ? "enable" : "disable")
+            << " (Eq.1 energy ratio " << util::format_fixed(edram.energy_ratio, 3) << ")\n"
+            << "  why: " << edram.reason << "\n";
+  const core::EffectiveRegion per = core::edram_effective_region(brd_on);
+  std::cout << "  eDRAM performance-effective region: "
+            << util::format_bytes(static_cast<std::uint64_t>(per.lo_bytes)) << " .. "
+            << util::format_bytes(static_cast<std::uint64_t>(per.hi_bytes))
+            << (per.contains(app.footprint_bytes) ? "  <- your footprint is inside"
+                                                  : "  <- your footprint is outside")
+            << "\n";
+
+  // --- where the footprint lands on the stepping curve ---------------------
+  std::vector<util::Series> curves;
+  for (const auto& mode : {sim::McdramMode::kOff, sim::McdramMode::kCache,
+                           sim::McdramMode::kFlat, sim::McdramMode::kHybrid}) {
+    const sim::Platform p = sim::knl(mode);
+    const auto curve = core::sweep_footprint(p, core::schematic_kernel(p, 0.3),
+                                             app.footprint_bytes / 64.0,
+                                             app.footprint_bytes * 8.0, 96, p.mode_label);
+    util::Series s{p.mode_label, {}, {}};
+    for (std::size_t i = 0; i < curve.footprint_bytes.size(); ++i) {
+      s.x.push_back(curve.footprint_bytes[i] / static_cast<double>(util::MiB));
+      s.y.push_back(curve.gflops[i]);
+    }
+    curves.push_back(std::move(s));
+  }
+  std::cout << "\nKNL stepping curves around your footprint ("
+            << util::format_bytes(static_cast<std::uint64_t>(app.footprint_bytes)) << "):\n"
+            << util::render_line_plot(curves, 72, 14, true, "footprint [MB]", "GFlop/s");
+  return 0;
+}

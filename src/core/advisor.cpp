@@ -1,0 +1,79 @@
+#include "core/advisor.hpp"
+
+#include "sim/power.hpp"
+
+namespace opm::core {
+
+McdramRecommendation advise_mcdram(const sim::Platform& knl_flat, const AppProfile& app) {
+  McdramRecommendation rec;
+  double mcdram_capacity = 0.0;
+  for (const auto& dev : knl_flat.devices)
+    if (dev.on_package) mcdram_capacity += static_cast<double>(dev.capacity);
+  for (const auto& tier : knl_flat.tiers)
+    if (tier.kind == sim::TierKind::kMemorySide)
+      mcdram_capacity += static_cast<double>(tier.geometry.capacity);
+  if (mcdram_capacity <= 0.0) mcdram_capacity = 16.0 * 1024 * 1024 * 1024.0;
+  const double hybrid_cache = mcdram_capacity / 2.0;
+
+  if (app.footprint_bytes <= mcdram_capacity) {
+    rec.mode = sim::McdramMode::kFlat;
+    rec.reason = "data fits MCDRAM: flat mode is all hits with no tag-check overhead "
+                 "(guideline II)";
+    return rec;
+  }
+  if (app.latency_bound) {
+    rec.mode = sim::McdramMode::kOff;
+    rec.reason = "latency-bound beyond MCDRAM capacity: MCDRAM's access latency exceeds "
+                 "DDR's, so DDR wins (section 4.2.2)";
+    return rec;
+  }
+  if (app.hot_set_bytes <= hybrid_cache) {
+    rec.mode = sim::McdramMode::kHybrid;
+    rec.reason = "data exceeds MCDRAM but the hot set fits the hybrid cache half: hybrid "
+                 "beats both flat and cache (guideline III)";
+    return rec;
+  }
+  rec.mode = sim::McdramMode::kCache;
+  rec.reason = "data exceeds MCDRAM and the hot set exceeds the hybrid cache half: the "
+               "hardware-managed cache tracks the moving hotspot (guideline IV)";
+  return rec;
+}
+
+EdramRecommendation advise_edram(const sim::Platform& broadwell_on, const AppProfile& app) {
+  EdramRecommendation rec;
+  const EffectiveRegion per = edram_effective_region(broadwell_on);
+  // eDRAM never degraded performance in the evaluation ("we have not
+  // observed worse performance using eDRAM"), so performance users keep
+  // it on; the interesting question is whether it actually helps.
+  rec.enable_for_performance = true;
+  rec.energy_ratio =
+      sim::opm_energy_ratio(app.expected_perf_gain, app.expected_power_increase);
+  rec.enable_for_energy = rec.energy_ratio < 1.0;
+  if (per.contains(app.footprint_bytes)) {
+    rec.reason = "footprint falls inside the eDRAM performance-effective region; expect "
+                 "real gains" +
+                 std::string(rec.enable_for_energy ? " and net energy savings (Eq. 1)"
+                                                   : "; Eq. 1 says the gain does not cover "
+                                                     "the extra power");
+  } else {
+    rec.reason = "footprint outside the eDRAM effective region: no slowdown, but the "
+                 "extra ~8.6% power is not recouped";
+  }
+  return rec;
+}
+
+EffectiveRegion edram_effective_region(const sim::Platform& platform) {
+  EffectiveRegion out;
+  double below = 0.0;
+  for (const auto& tier : platform.tiers) {
+    if (tier.kind == sim::TierKind::kVictim) {
+      out.lo_bytes = below;
+      out.hi_bytes = below + static_cast<double>(tier.geometry.capacity);
+      return out;
+    }
+    below += static_cast<double>(tier.geometry.capacity);
+  }
+  return out;
+}
+
+}  // namespace opm::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+
+#include "sim/platform.hpp"
+
+/// The optimization-guideline engine — the paper's Section 6 as code.
+///
+/// Given what a user knows about their application (total data size, hot
+/// working-set size, whether it is latency- or bandwidth-bound) and their
+/// objective (performance vs energy), the advisor emits the mode the
+/// paper's guidelines recommend, with the reasoning attached.
+namespace opm::core {
+
+/// What the user knows about the application.
+struct AppProfile {
+  double footprint_bytes = 0.0;      ///< total data size
+  double hot_set_bytes = 0.0;        ///< most-frequently-used footprint
+  bool latency_bound = false;        ///< low MLP (e.g. SpTRSV-like)
+  double expected_perf_gain = 0.0;   ///< fractional gain from the OPM (P)
+  double expected_power_increase = 0.0;  ///< fractional power cost (W)
+};
+
+/// MCDRAM recommendation per the Section 6 rules.
+struct McdramRecommendation {
+  sim::McdramMode mode = sim::McdramMode::kCache;
+  std::string reason;
+};
+
+/// Applies rules I–IV of Section 6 for a KNL-like platform:
+///   - data fits MCDRAM -> flat (all hits, no tag overhead);
+///   - data larger than MCDRAM but hot set fits the hybrid cache half ->
+///     hybrid (flat partition for the bulk, cache for the hot set);
+///   - data larger than MCDRAM with a big hot set -> cache;
+///   - latency-bound with data beyond MCDRAM -> DDR can win (MCDRAM's
+///     access latency exceeds DDR's).
+McdramRecommendation advise_mcdram(const sim::Platform& knl_flat, const AppProfile& app);
+
+/// eDRAM recommendation per the Section 6 eDRAM discussion.
+struct EdramRecommendation {
+  bool enable_for_performance = false;
+  bool enable_for_energy = false;
+  double energy_ratio = 1.0;  ///< Eq. 1: E_with / E_without
+  std::string reason;
+};
+
+/// eDRAM never hurts performance, so the performance answer keys on
+/// whether the data can exercise the eDRAM performance-effective region;
+/// the energy answer applies Eq. 1.
+EdramRecommendation advise_edram(const sim::Platform& broadwell_on, const AppProfile& app);
+
+/// The eDRAM performance-effective region (PER) on a platform: footprints
+/// between the last on-chip cache capacity and the eDRAM capacity (both in
+/// bytes). Returns {0, 0} when the platform has no victim tier.
+struct EffectiveRegion {
+  double lo_bytes = 0.0;
+  double hi_bytes = 0.0;
+  bool contains(double fp) const { return fp > lo_bytes && fp <= hi_bytes; }
+};
+EffectiveRegion edram_effective_region(const sim::Platform& platform);
+
+}  // namespace opm::core

@@ -1,0 +1,34 @@
+#include "core/density.hpp"
+
+#include <algorithm>
+
+#include "kernels/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace opm::core {
+
+DensityResult gemm_density(const sim::Platform& platform, std::size_t count,
+                           std::uint64_t seed) {
+  DensityResult out;
+  out.samples_gflops.reserve(count);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Appendix A.2.1 ranges: n in {256 .. 16128 step 512},
+    // nb in {128 .. 4096 step 128}.
+    const double n = 256.0 + 512.0 * static_cast<double>(rng.bounded(32));
+    const double nb = 128.0 + 128.0 * static_cast<double>(rng.bounded(32));
+    const kernels::LocalityModel model = kernels::gemm_model(platform, n, nb);
+    const kernels::Prediction pred = kernels::predict(platform, model);
+    out.samples_gflops.push_back(pred.gflops);
+  }
+  out.best_gflops =
+      *std::max_element(out.samples_gflops.begin(), out.samples_gflops.end());
+  std::size_t near = 0;
+  for (double g : out.samples_gflops)
+    if (g >= 0.9 * out.best_gflops) ++near;
+  out.near_peak_fraction = static_cast<double>(near) / static_cast<double>(count);
+  out.density = util::kernel_density(out.samples_gflops, 128);
+  return out;
+}
+
+}  // namespace opm::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/platform.hpp"
+#include "util/stats.hpp"
+
+/// Achievable-throughput probability density — the paper's Figure 1.
+///
+/// The paper samples 1024 (problem size, tiling size) GEMM configurations
+/// and plots the density of achieved GFlop/s with and without eDRAM: the
+/// OPM shifts the whole distribution toward the peak (more less-optimized
+/// configurations reach near-peak performance) without moving the peak
+/// itself much.
+namespace opm::core {
+
+struct DensityResult {
+  std::vector<double> samples_gflops;  ///< one per sampled configuration
+  util::DensityEstimate density;       ///< Gaussian KDE over the samples
+  double best_gflops = 0.0;
+  /// Fraction of samples reaching >= 90% of the best sample — the paper's
+  /// "chance to reach near-peak performance".
+  double near_peak_fraction = 0.0;
+};
+
+/// Samples `count` GEMM (n, nb) configurations uniformly from the paper's
+/// appendix ranges (n in 256..16128, nb in 128..4096) and predicts each
+/// configuration's throughput on `platform`.
+DensityResult gemm_density(const sim::Platform& platform, std::size_t count,
+                           std::uint64_t seed);
+
+}  // namespace opm::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/speedup.hpp"
+#include "kernels/model.hpp"
+#include "sim/platform.hpp"
+#include "sparse/collection.hpp"
+
+/// Shared experiment sweeps — the canonical input sets behind every figure
+/// and both summary tables, so that all bench harnesses report consistent
+/// numbers.
+///
+/// Dense kernels sweep (matrix order, tile size) grids (appendix A.2.1/2);
+/// sparse kernels sweep the 968-matrix synthetic suite; Stream/Stencil/FFT
+/// sweep footprints. Everything runs through the analytical models and the
+/// timing model — the trace-driven simulator validates those models in the
+/// test suite.
+namespace opm::core {
+
+/// Which kernel a sweep is for.
+enum class KernelId { kGemm, kCholesky, kSpmv, kSptrans, kSptrsv, kFft, kStencil, kStream };
+const char* to_string(KernelId id);
+
+/// One sampled point of any sweep.
+struct SweepPoint {
+  double x = 0.0;          ///< primary axis (matrix order / footprint bytes)
+  double y = 0.0;          ///< secondary axis (tile size; 0 when unused)
+  double gflops = 0.0;
+  double footprint = 0.0;  ///< bytes
+  double rows = 0.0;       ///< sparse sweeps: matrix rows
+  double nnz = 0.0;        ///< sparse sweeps: nonzeros
+  int input_id = -1;       ///< sparse sweeps: suite member id
+};
+
+/// Dense (n, nb) grid sweep for GEMM or Cholesky. Ranges follow appendix
+/// A.2.1: n_hi = 16128 on Broadwell, 32000 on KNL; nb in 128..4096.
+std::vector<SweepPoint> sweep_dense(const sim::Platform& platform, KernelId kernel,
+                                    double n_lo, double n_hi, double n_step, double nb_lo,
+                                    double nb_hi, double nb_step);
+
+/// Sparse sweep over a synthetic suite. `merge_based` selects the
+/// MergeTrans variant for SpTRANS (KNL); ignored by the other kernels.
+std::vector<SweepPoint> sweep_sparse(const sim::Platform& platform, KernelId kernel,
+                                     const sparse::SyntheticCollection& suite,
+                                     bool merge_based = false);
+
+/// Footprint sweep for Stream / Stencil / FFT. Bounds in bytes.
+std::vector<SweepPoint> sweep_footprint_kernel(const sim::Platform& platform, KernelId kernel,
+                                               double fp_lo, double fp_hi, std::size_t points);
+
+/// The canonical per-kernel input set for the summary tables: returns the
+/// predicted GFlop/s for every input of `kernel` on `platform` (paired
+/// across platforms because inputs are deterministic).
+std::vector<double> table_inputs_gflops(const sim::Platform& platform, KernelId kernel,
+                                        const sparse::SyntheticCollection& suite);
+
+/// Table 4: per-kernel summary of eDRAM-on vs eDRAM-off on Broadwell.
+struct KernelSummary {
+  KernelId kernel;
+  SpeedupSummary summary;
+};
+std::vector<KernelSummary> table4_edram(const sparse::SyntheticCollection& suite);
+
+/// Table 5: per-kernel, per-mode summaries of MCDRAM modes vs DDR on KNL.
+struct ModeSummary {
+  KernelId kernel;
+  SpeedupSummary flat;
+  SpeedupSummary cache;
+  SpeedupSummary hybrid;
+};
+std::vector<ModeSummary> table5_mcdram(const sparse::SyntheticCollection& suite);
+
+/// Average power/energy per kernel for the Figure 26/27 reproductions:
+/// mean package and DDR power across the kernel's canonical inputs.
+struct PowerRow {
+  KernelId kernel;
+  double package_watts = 0.0;
+  double dram_watts = 0.0;
+};
+std::vector<PowerRow> power_rows(const sim::Platform& platform,
+                                 const sparse::SyntheticCollection& suite);
+
+}  // namespace opm::core

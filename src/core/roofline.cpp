@@ -1,0 +1,67 @@
+#include "core/roofline.hpp"
+
+#include <algorithm>
+
+namespace opm::core {
+
+double roofline_attainable(double ai, double peak_flops, double bandwidth) {
+  return std::min(peak_flops, ai * bandwidth);
+}
+
+double RooflineFigure::ridge_point_opm() const {
+  return opm_bandwidth > 0.0 ? dp_peak_flops / opm_bandwidth : 0.0;
+}
+
+double RooflineFigure::ridge_point_ddr() const {
+  return ddr_bandwidth > 0.0 ? dp_peak_flops / ddr_bandwidth : 0.0;
+}
+
+RooflineFigure build_roofline(const sim::Platform& platform) {
+  RooflineFigure fig;
+  fig.platform = platform.name + " (" + platform.mode_label + ")";
+  fig.dp_peak_flops = platform.dp_peak_flops;
+  fig.sp_peak_flops = platform.sp_peak_flops;
+  fig.ddr_bandwidth = platform.ddr().bandwidth;
+
+  // The OPM ceiling: a non-standard tier's bandwidth (eDRAM L4 / MCDRAM
+  // cache) or an on-package flat device's.
+  fig.opm_bandwidth = 0.0;
+  for (const auto& tier : platform.tiers)
+    if (tier.kind != sim::TierKind::kStandard) fig.opm_bandwidth = tier.bandwidth;
+  for (const auto& dev : platform.devices)
+    if (dev.on_package) fig.opm_bandwidth = std::max(fig.opm_bandwidth, dev.bandwidth);
+
+  const kernels::ProblemSize p = kernels::figure5_problem();
+  for (const auto& spec : kernels::all_kernel_specs()) {
+    RooflinePlacement placement;
+    placement.kernel = spec.name;
+    placement.intensity = spec.arithmetic_intensity(p);
+    placement.ddr_only_gflops =
+        roofline_attainable(placement.intensity, fig.dp_peak_flops, fig.ddr_bandwidth) / 1e9;
+    const double opm_bw = fig.opm_bandwidth > 0.0 ? fig.opm_bandwidth : fig.ddr_bandwidth;
+    placement.with_opm_gflops =
+        roofline_attainable(placement.intensity, fig.dp_peak_flops, opm_bw) / 1e9;
+    fig.placements.push_back(placement);
+  }
+  return fig;
+}
+
+std::vector<CarmRoof> cache_aware_roofs(const sim::Platform& platform) {
+  std::vector<CarmRoof> out;
+  for (const auto& tier : platform.tiers) {
+    out.push_back({.name = tier.geometry.name,
+                   .bandwidth = tier.bandwidth,
+                   .ridge_point = tier.bandwidth > 0.0
+                                      ? platform.dp_peak_flops / tier.bandwidth
+                                      : 0.0});
+  }
+  for (const auto& dev : platform.devices) {
+    out.push_back({.name = dev.name,
+                   .bandwidth = dev.bandwidth,
+                   .ridge_point =
+                       dev.bandwidth > 0.0 ? platform.dp_peak_flops / dev.bandwidth : 0.0});
+  }
+  return out;
+}
+
+}  // namespace opm::core

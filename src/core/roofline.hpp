@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/spec.hpp"
+#include "sim/platform.hpp"
+
+/// Roofline model (Williams et al.) for OPM-equipped platforms — the
+/// engine behind the paper's Figure 5.
+namespace opm::core {
+
+/// Attainable performance at arithmetic intensity `ai` (flop/byte) under a
+/// compute ceiling `peak_flops` and memory ceiling `bandwidth` (bytes/s).
+double roofline_attainable(double ai, double peak_flops, double bandwidth);
+
+/// One kernel placed on a platform's roofline.
+struct RooflinePlacement {
+  std::string kernel;
+  double intensity = 0.0;        ///< flop/byte at the Figure 5 problem size
+  double with_opm_gflops = 0.0;  ///< ceiling using the OPM bandwidth
+  double ddr_only_gflops = 0.0;  ///< ceiling using the DDR bandwidth
+};
+
+/// Roofline description of one platform: both memory ceilings plus every
+/// kernel's placement at the paper's Figure 5 problem size
+/// (n = 1024, nnz = 1024, M = 32).
+struct RooflineFigure {
+  std::string platform;
+  double dp_peak_flops = 0.0;
+  double sp_peak_flops = 0.0;
+  double opm_bandwidth = 0.0;  ///< eDRAM / MCDRAM bytes/s
+  double ddr_bandwidth = 0.0;
+  std::vector<RooflinePlacement> placements;
+
+  /// The intensity where the OPM memory roof meets the DP compute roof.
+  double ridge_point_opm() const;
+  double ridge_point_ddr() const;
+};
+
+/// Builds the figure for a platform. `platform` must be an OPM-enabled
+/// configuration (eDRAM on / any MCDRAM mode); the DDR ceiling comes from
+/// its DDR device.
+RooflineFigure build_roofline(const sim::Platform& platform);
+
+/// One memory roof of the cache-aware roofline (CARM) extension: every
+/// hierarchy level contributes a diagonal, not just OPM and DDR.
+struct CarmRoof {
+  std::string name;
+  double bandwidth = 0.0;  ///< bytes/s
+  /// Intensity where this roof meets the DP compute ceiling (flop/byte).
+  double ridge_point = 0.0;
+};
+
+/// All memory roofs of a platform, from L1 down to DDR, in hierarchy
+/// order (bandwidths non-increasing). The classic roofline (Figure 5)
+/// keeps only the last two; the CARM view explains where the cache peaks
+/// of the Stepping Model come from — each peak runs along one roof.
+std::vector<CarmRoof> cache_aware_roofs(const sim::Platform& platform);
+
+}  // namespace opm::core

@@ -1,0 +1,51 @@
+#include "core/speedup.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace opm::core {
+
+SpeedupSummary summarize_speedup(std::span<const double> base_gflops,
+                                 std::span<const double> opm_gflops) {
+  if (base_gflops.size() != opm_gflops.size())
+    throw std::invalid_argument("summarize_speedup: span length mismatch");
+  SpeedupSummary s;
+  s.inputs = base_gflops.size();
+  if (s.inputs == 0) return s;
+
+  double gap_sum = 0.0;
+  double speedup_sum = 0.0;
+  s.max_gap_gflops = -1e300;
+  for (std::size_t i = 0; i < base_gflops.size(); ++i) {
+    const double base = base_gflops[i];
+    const double opm = opm_gflops[i];
+    if (base <= 0.0) throw std::invalid_argument("summarize_speedup: non-positive baseline");
+    s.best_base_gflops = std::max(s.best_base_gflops, base);
+    s.best_opm_gflops = std::max(s.best_opm_gflops, opm);
+    const double gap = opm - base;
+    gap_sum += gap;
+    s.max_gap_gflops = std::max(s.max_gap_gflops, gap);
+    const double speedup = opm / base;
+    speedup_sum += speedup;
+    s.max_speedup = std::max(s.max_speedup, speedup);
+  }
+  s.avg_gap_gflops = gap_sum / static_cast<double>(s.inputs);
+  s.avg_speedup = speedup_sum / static_cast<double>(s.inputs);
+  return s;
+}
+
+std::string format_summary_row(const std::string& kernel, const SpeedupSummary& s) {
+  std::ostringstream os;
+  os << util::pad(kernel, 10) << util::pad(util::format_fixed(s.best_base_gflops, 1), 12)
+     << util::pad(util::format_fixed(s.best_opm_gflops, 1), 12)
+     << util::pad(util::format_fixed(s.avg_gap_gflops, 2), 12)
+     << util::pad(util::format_fixed(s.max_gap_gflops, 2), 12)
+     << util::pad(util::format_speedup(s.avg_speedup), 10)
+     << util::pad(util::format_speedup(s.max_speedup), 10);
+  return os.str();
+}
+
+}  // namespace opm::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+/// Speedup aggregation — the statistics columns of the paper's Tables 4
+/// and 5.
+///
+/// Given paired per-input throughputs (baseline vs OPM configuration), the
+/// summary reports the best throughput of each side, the average and
+/// maximum absolute performance gap, and the average and maximum speedup —
+/// exactly the columns the paper tabulates.
+namespace opm::core {
+
+struct SpeedupSummary {
+  double best_base_gflops = 0.0;
+  double best_opm_gflops = 0.0;
+  double avg_gap_gflops = 0.0;  ///< mean of (opm - base), signed
+  double max_gap_gflops = 0.0;  ///< max of (opm - base)
+  double avg_speedup = 0.0;     ///< mean of (opm / base)
+  double max_speedup = 0.0;
+  std::size_t inputs = 0;
+};
+
+/// Summarizes paired samples; the two spans must be equal length and the
+/// baseline entries strictly positive.
+SpeedupSummary summarize_speedup(std::span<const double> base_gflops,
+                                 std::span<const double> opm_gflops);
+
+/// One formatted row of Table 4/5 style output.
+std::string format_summary_row(const std::string& kernel, const SpeedupSummary& s);
+
+}  // namespace opm::core

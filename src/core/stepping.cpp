@@ -1,0 +1,105 @@
+#include "core/stepping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opm::core {
+
+SteppingCurve sweep_footprint(const sim::Platform& platform, const ModelAtFootprint& factory,
+                              double fp_lo, double fp_hi, std::size_t points,
+                              const std::string& label) {
+  SteppingCurve curve;
+  curve.label = label.empty() ? platform.mode_label : label;
+  if (points == 0 || !(fp_hi > fp_lo) || fp_lo <= 0.0) return curve;
+  const double log_lo = std::log2(fp_lo);
+  const double log_hi = std::log2(fp_hi);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = points > 1 ? static_cast<double>(i) / static_cast<double>(points - 1) : 0.0;
+    const double fp = std::exp2(log_lo + (log_hi - log_lo) * t);
+    const kernels::LocalityModel model = factory(fp);
+    const kernels::Prediction pred = kernels::predict(platform, model);
+    curve.footprint_bytes.push_back(fp);
+    curve.gflops.push_back(pred.gflops);
+  }
+  return curve;
+}
+
+CurveFeatures analyze_curve(const SteppingCurve& curve) {
+  CurveFeatures out;
+  const auto& y = curve.gflops;
+  const auto& x = curve.footprint_bytes;
+  if (y.empty()) return out;
+  out.max_gflops = *std::max_element(y.begin(), y.end());
+
+  // A "cache peak" on a stepping curve is usually a plateau edge, not an
+  // interior bump: group near-equal samples into plateau runs (0.2%
+  // tolerance) and classify each run by its neighbours. A run starting at
+  // the curve's left edge counts as preceded-by-rise (the first cache's
+  // plateau); the final plateau is neither peak nor valley.
+  constexpr double kFlatTol = 0.002;
+  constexpr double kProminence = 1.005;
+  std::size_t i = 0;
+  while (i < y.size()) {
+    std::size_t r = i;
+    while (r + 1 < y.size() && std::abs(y[r + 1] - y[i]) <= kFlatTol * std::abs(y[i])) ++r;
+    const bool at_start = i == 0;
+    const bool at_end = r + 1 >= y.size();
+    const bool rose_in = at_start || y[i] > y[i - 1] * kProminence;
+    const bool fell_in = !at_start && y[i] * kProminence < y[i - 1];
+    const bool drops_out = !at_end && y[r + 1] * kProminence < y[r];
+    const bool rises_out = !at_end && y[r + 1] > y[r] * kProminence;
+    if (rose_in && drops_out) out.peaks.push_back({x[r], y[r]});
+    if (fell_in && rises_out) out.valleys.push_back({x[i], y[i]});
+    i = r + 1;
+  }
+
+  // Final plateau: mean of the last 10% of samples.
+  const std::size_t tail = std::max<std::size_t>(1, y.size() / 10);
+  double acc = 0.0;
+  for (std::size_t k = y.size() - tail; k < y.size(); ++k) acc += y[k];
+  out.final_plateau_gflops = acc / static_cast<double>(tail);
+  return out;
+}
+
+sim::Platform scale_opm(const sim::Platform& platform, double capacity_scale,
+                        double bandwidth_scale) {
+  sim::Platform out = platform;
+  for (auto& tier : out.tiers) {
+    if (tier.kind == sim::TierKind::kStandard) continue;
+    // Keep the geometry valid: capacity stays a multiple of line x ways.
+    const std::uint64_t quantum =
+        static_cast<std::uint64_t>(tier.geometry.line_size) * tier.geometry.associativity;
+    std::uint64_t cap = static_cast<std::uint64_t>(
+        static_cast<double>(tier.geometry.capacity) * capacity_scale);
+    cap = std::max<std::uint64_t>(cap / quantum, 1) * quantum;
+    tier.geometry.capacity = cap;
+    tier.bandwidth *= bandwidth_scale;
+  }
+  for (auto& dev : out.devices) {
+    if (!dev.on_package) continue;
+    dev.capacity = static_cast<std::uint64_t>(static_cast<double>(dev.capacity) * capacity_scale);
+    dev.bandwidth *= bandwidth_scale;
+  }
+  if (out.flat_opm_bytes > 0)
+    out.flat_opm_bytes =
+        static_cast<std::uint64_t>(static_cast<double>(out.flat_opm_bytes) * capacity_scale);
+  return out;
+}
+
+ModelAtFootprint schematic_kernel(const sim::Platform& platform, double intensity) {
+  return [&platform, intensity](double footprint) {
+    kernels::LocalityModel m;
+    m.footprint = footprint;
+    m.total_bytes = footprint;        // one streaming pass per iteration
+    m.flops = intensity * footprint;  // fixed arithmetic intensity
+    const double bytes = m.total_bytes;
+    m.miss_bytes = [bytes, footprint](double capacity) {
+      return bytes * kernels::capacity_miss_fraction(footprint, capacity);
+    };
+    m.compute_efficiency = 0.9;
+    m.mlp_max = 10.0 * platform.cores;
+    return m;
+  };
+}
+
+}  // namespace opm::core

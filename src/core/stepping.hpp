@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels/model.hpp"
+#include "sim/platform.hpp"
+
+/// The Stepping Model — the paper's visual analytic model (Figure 6) made
+/// executable.
+///
+/// A stepping curve is throughput versus problem footprint on a platform:
+/// each cache tier contributes a *cache peak* near its capacity, possibly
+/// followed by a *cache valley* where the next tier's bandwidth cannot yet
+/// be saturated (insufficient memory-level parallelism), before settling
+/// on the next tier's plateau. This module sweeps any kernel's analytical
+/// model across footprints, extracts peaks/valleys/plateaus, and supports
+/// the guideline figures (28–30) including hardware what-if scaling.
+namespace opm::core {
+
+/// Factory: problem footprint scale -> kernel LocalityModel at that scale.
+using ModelAtFootprint = std::function<kernels::LocalityModel(double)>;
+
+/// One throughput-vs-footprint curve.
+struct SteppingCurve {
+  std::string label;
+  std::vector<double> footprint_bytes;  ///< log-spaced sweep points
+  std::vector<double> gflops;
+};
+
+/// Sweeps `factory` on `platform` across [fp_lo, fp_hi] bytes with
+/// `points` log-spaced samples.
+SteppingCurve sweep_footprint(const sim::Platform& platform, const ModelAtFootprint& factory,
+                              double fp_lo, double fp_hi, std::size_t points,
+                              const std::string& label = "");
+
+/// A detected stationary feature of a curve.
+struct CurveFeature {
+  double footprint_bytes = 0.0;
+  double gflops = 0.0;
+};
+
+/// Peaks and valleys of a stepping curve (strict local extrema on the
+/// sampled grid, endpoints excluded).
+struct CurveFeatures {
+  std::vector<CurveFeature> peaks;
+  std::vector<CurveFeature> valleys;
+  double max_gflops = 0.0;
+  double final_plateau_gflops = 0.0;  ///< mean over the last decade
+};
+
+CurveFeatures analyze_curve(const SteppingCurve& curve);
+
+/// Hardware what-if of Figure 30: returns a copy of `platform` with every
+/// non-standard (OPM) tier's capacity scaled by `capacity_scale` and
+/// bandwidth by `bandwidth_scale`.
+sim::Platform scale_opm(const sim::Platform& platform, double capacity_scale,
+                        double bandwidth_scale);
+
+/// The generic synthetic kernel of the schematic Figure 6: a streaming
+/// kernel with the given arithmetic intensity, for drawing the canonical
+/// stepping shape on any platform.
+ModelAtFootprint schematic_kernel(const sim::Platform& platform, double intensity);
+
+}  // namespace opm::core

@@ -1,0 +1,57 @@
+#include "core/validation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace opm::core {
+
+ValidationReport validate_model(const trace::ReuseDistanceAnalyzer& measured,
+                                const kernels::LocalityModel& model,
+                                const sim::Platform& platform, double iterations) {
+  ValidationReport out;
+  // The measured curve never falls below the compulsory (cold) traffic —
+  // every distinct line misses at least once — while the steady-state
+  // models amortize cold misses over many iterations. Clamp both sides at
+  // the compulsory floor so the comparison targets the capacity-dependent
+  // component (rows where that floor dominates read as ratio 1).
+  const double compulsory =
+      static_cast<double>(measured.distinct_lines()) * measured.line_size();
+  double cumulative = 0.0;
+  for (const auto& tier : platform.tiers) {
+    cumulative += static_cast<double>(tier.geometry.capacity);
+    ValidationRow row;
+    row.boundary = tier.geometry.name;
+    row.capacity_bytes = cumulative;
+    row.measured_bytes = static_cast<double>(
+        measured.miss_bytes(static_cast<std::uint64_t>(cumulative)));
+    row.modeled_bytes = model.miss_bytes(cumulative) * iterations;
+    const double meas = std::max(row.measured_bytes, compulsory);
+    const double mod = std::max(row.modeled_bytes, compulsory);
+    if (meas > 0.0 && mod > 0.0)
+      row.ratio = mod / meas;
+    else
+      row.ratio = 1.0;  // empty trace: nothing to compare
+    out.rows.push_back(row);
+    out.worst_factor = std::max(out.worst_factor, std::max(row.ratio, 1.0 / row.ratio));
+  }
+  return out;
+}
+
+std::string format_report(const ValidationReport& report) {
+  std::ostringstream os;
+  os << util::pad("boundary", 12) << util::pad("capacity", 12) << util::pad("measured", 14)
+     << util::pad("modeled", 14) << util::pad("model/meas", 12) << "\n";
+  for (const auto& row : report.rows) {
+    os << util::pad(row.boundary, 12)
+       << util::pad(util::format_bytes(static_cast<std::uint64_t>(row.capacity_bytes)), 12)
+       << util::pad(util::format_bytes(static_cast<std::uint64_t>(row.measured_bytes)), 14)
+       << util::pad(util::format_bytes(static_cast<std::uint64_t>(row.modeled_bytes)), 14)
+       << util::pad(row.ratio > 0.0 ? util::format_fixed(row.ratio, 2) : "n/a", 12) << "\n";
+  }
+  os << "worst multiplicative error: " << util::format_fixed(report.worst_factor, 2) << "x\n";
+  return os.str();
+}
+
+}  // namespace opm::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/model.hpp"
+#include "sim/platform.hpp"
+#include "trace/reuse.hpp"
+
+/// Model-vs-trace validation as a public API.
+///
+/// The bench sweeps run entirely on the analytical models; their ground
+/// truth is exact reuse-distance measurement of the instrumented kernels.
+/// This module turns the test suite's cross-checking into a reusable
+/// report: for every capacity boundary of a platform, compare the model's
+/// miss curve against the measured one and flag disagreements. The
+/// `validation_report` bench prints this for every kernel so a reader can
+/// audit how much to trust each figure.
+namespace opm::core {
+
+struct ValidationRow {
+  std::string boundary;       ///< tier name whose cumulative capacity is probed
+  double capacity_bytes = 0;  ///< cumulative capacity above-and-including it
+  double measured_bytes = 0;  ///< reuse-distance miss bytes at that capacity
+  double modeled_bytes = 0;   ///< model.miss_bytes at that capacity
+  /// modeled/measured, 1.0 = perfect; <1 model optimistic, >1 pessimistic.
+  double ratio = 0.0;
+};
+
+struct ValidationReport {
+  std::vector<ValidationRow> rows;
+  /// max(ratio, 1/ratio) over all rows — the worst multiplicative error.
+  double worst_factor = 1.0;
+};
+
+/// Compares the measured miss curve of an instrumented run against a
+/// kernel model at every cumulative tier capacity of `platform`.
+/// `iterations` scales the model's traffic to match the number of times
+/// the instrumented kernel was executed into `measured`.
+ValidationReport validate_model(const trace::ReuseDistanceAnalyzer& measured,
+                                const kernels::LocalityModel& model,
+                                const sim::Platform& platform, double iterations = 1.0);
+
+/// Formats a report as an aligned text table.
+std::string format_report(const ValidationReport& report);
+
+}  // namespace opm::core

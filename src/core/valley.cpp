@@ -1,0 +1,79 @@
+#include "core/valley.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opm::core {
+
+double valley_hit_rate(const ValleyParams& p, double t) {
+  const double aggregate = t * p.per_thread_ws;
+  if (aggregate <= 0.0) return 1.0;
+  return std::min(1.0, p.cache_bytes / aggregate);
+}
+
+double valley_throughput(const ValleyParams& p, double t) {
+  const double hit = valley_hit_rate(p, t);
+  const double miss = 1.0 - hit;
+
+  // Per-thread compute demand expressed as bytes/s, then the miss stream
+  // it generates.
+  const double bytes_rate_per_thread = p.core_flops / p.flops_per_byte;
+  const double miss_bytes_per_thread = miss * bytes_rate_per_thread;
+
+  // Latency limit: t threads sustain t·mlp outstanding lines, i.e.
+  // t·mlp·line/latency bytes/s of misses machine-wide.
+  const double latency_capacity = t * p.mlp_per_thread * p.line_bytes / p.mem_latency;
+  // Bandwidth limit: the memory system itself.
+  const double memory_capacity = std::min(latency_capacity, p.mem_bandwidth);
+
+  // If the demanded miss traffic exceeds what memory can deliver, all
+  // threads stall proportionally.
+  const double demanded = t * miss_bytes_per_thread;
+  const double scale = demanded > 0.0 ? std::min(1.0, memory_capacity / demanded) : 1.0;
+  return t * p.core_flops * scale;
+}
+
+ValleyCurve valley_curve(const ValleyParams& p) {
+  ValleyCurve out;
+  // Dense at small counts, multiplicative steps later; always include the
+  // final thread count so the recovery level is sampled exactly.
+  for (std::size_t t = 1; t <= p.max_threads;) {
+    out.threads.push_back(static_cast<double>(t));
+    out.gflops.push_back(valley_throughput(p, static_cast<double>(t)) / 1e9);
+    t = t < 32 ? t + 1 : t + std::max<std::size_t>(1, t / 8);
+  }
+  if (out.threads.empty() || out.threads.back() != static_cast<double>(p.max_threads)) {
+    out.threads.push_back(static_cast<double>(p.max_threads));
+    out.gflops.push_back(valley_throughput(p, static_cast<double>(p.max_threads)) / 1e9);
+  }
+  return out;
+}
+
+ValleyFeatures analyze_valley(const ValleyCurve& curve) {
+  ValleyFeatures out;
+  if (curve.gflops.empty()) return out;
+  out.recovered_gflops = curve.gflops.back();
+
+  // Cache peak: running maximum before the first descent; valley: global
+  // minimum after that peak.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < curve.gflops.size(); ++i) {
+    if (curve.gflops[i] >= curve.gflops[peak])
+      peak = i;
+    else
+      break;
+  }
+  out.cache_peak_threads = curve.threads[peak];
+  out.cache_peak_gflops = curve.gflops[peak];
+
+  std::size_t valley = peak;
+  for (std::size_t i = peak; i < curve.gflops.size(); ++i)
+    if (curve.gflops[i] < curve.gflops[valley]) valley = i;
+  out.valley_threads = curve.threads[valley];
+  out.valley_gflops = curve.gflops[valley];
+  out.has_valley = valley > peak && out.valley_gflops < out.cache_peak_gflops * 0.98 &&
+                   out.recovered_gflops > out.valley_gflops * 1.02;
+  return out;
+}
+
+}  // namespace opm::core

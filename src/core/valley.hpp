@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// The original Valley model (Guz et al., "Many-Core vs. Many-Thread
+/// Machines: Stay Away From the Valley") that the paper's Stepping Model
+/// is derived from (section 4.1.2).
+///
+/// The Valley model plots throughput against *thread count*: performance
+/// rises while the aggregate working set fits cache (the "cache
+/// efficiency" region), collapses into a valley once it spills and too
+/// few threads exist to hide memory latency, then recovers as massive
+/// multithreading saturates bandwidth (the "MT efficiency" region). The
+/// Stepping Model replaces the thread axis with problem footprint and
+/// adds one peak per hierarchy level — the two describe the same physics,
+/// which `bench/ablation_valley_vs_stepping` demonstrates side by side.
+namespace opm::core {
+
+/// Machine/workload parameters of the classic analytic form.
+struct ValleyParams {
+  double cache_bytes = 4.0 * 1024 * 1024;  ///< shared cache capacity
+  double per_thread_ws = 256.0 * 1024;     ///< working set per thread, bytes
+  double flops_per_byte = 0.25;            ///< kernel arithmetic intensity
+  double core_flops = 4.0e9;               ///< per-thread compute rate, flop/s
+  double mem_latency = 80.0e-9;            ///< seconds per line
+  double mem_bandwidth = 40.0e9;           ///< bytes/s
+  double mlp_per_thread = 1.5;             ///< outstanding lines per thread
+  double line_bytes = 64.0;
+  std::size_t max_threads = 1024;
+};
+
+/// One throughput-vs-threads curve.
+struct ValleyCurve {
+  std::vector<double> threads;
+  std::vector<double> gflops;
+};
+
+/// Aggregate hit rate with t threads: min(1, C / (t · ws)) — the LRU
+/// approximation of the shared cache under t identical working sets.
+double valley_hit_rate(const ValleyParams& p, double t);
+
+/// Throughput with t threads (flop/s): compute rate discounted by memory
+/// stalls that t·mlp outstanding lines cannot hide, clamped by the
+/// bandwidth roof.
+double valley_throughput(const ValleyParams& p, double t);
+
+/// Evaluates the curve at 1..max_threads (log-ish sampling).
+ValleyCurve valley_curve(const ValleyParams& p);
+
+/// The defining feature set: the pre-valley peak (cache region), the
+/// valley bottom, and the many-thread recovery level.
+struct ValleyFeatures {
+  double cache_peak_threads = 0.0;
+  double cache_peak_gflops = 0.0;
+  double valley_threads = 0.0;
+  double valley_gflops = 0.0;
+  double recovered_gflops = 0.0;  ///< throughput at max_threads
+  bool has_valley = false;
+};
+ValleyFeatures analyze_valley(const ValleyCurve& curve);
+
+}  // namespace opm::core

@@ -1,0 +1,118 @@
+#include "dense/blas.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opm::dense {
+
+void gemm_block(const double* a, std::size_t lda, const double* b, std::size_t ldb, double* c,
+                std::size_t ldc, std::size_t m, std::size_t n, std::size_t k) {
+  // i-k-j loop order streams B and C rows contiguously (row-major friendly).
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = a[i * lda + p];
+      if (aip == 0.0) continue;
+      const double* brow = &b[p * ldb];
+      double* crow = &c[i * ldc];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void gemm_tn_block(const double* a, std::size_t lda, const double* b, std::size_t ldb, double* c,
+                   std::size_t ldc, std::size_t m, std::size_t n, std::size_t k) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = &a[p * lda];
+    const double* brow = &b[p * ldb];
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = arow[i];
+      if (api == 0.0) continue;
+      double* crow = &c[i * ldc];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+void syrk_lower_block(const double* a, std::size_t lda, double* c, std::size_t ldc,
+                      std::size_t n, std::size_t k) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = a[i * lda + p];
+      if (aip == 0.0) continue;
+      const double* arow = &a[p];  // column p of A read row-wise below
+      (void)arow;
+      double* crow = &c[i * ldc];
+      for (std::size_t j = 0; j <= i; ++j) crow[j] -= aip * a[j * lda + p];
+    }
+  }
+}
+
+void gemm_nt_sub_block(const double* a, std::size_t lda, const double* b, std::size_t ldb,
+                       double* c, std::size_t ldc, std::size_t m, std::size_t n, std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const double* arow = &a[i * lda];
+      const double* brow = &b[j * ldb];
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * ldc + j] -= acc;
+    }
+  }
+}
+
+bool potrf_lower_block(double* a, std::size_t lda, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * lda + j];
+    for (std::size_t p = 0; p < j; ++p) d -= a[j * lda + p] * a[j * lda + p];
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    a[j * lda + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * lda + j];
+      for (std::size_t p = 0; p < j; ++p) s -= a[i * lda + p] * a[j * lda + p];
+      a[i * lda + j] = s / ljj;
+    }
+    // Zero the strict upper triangle so reconstruction tests can treat the
+    // tile as a proper lower-triangular factor.
+    for (std::size_t i = 0; i < j; ++i) a[i * lda + j] = 0.0;
+  }
+  return true;
+}
+
+void trsm_right_lt_block(const double* l, std::size_t ldl, double* b, std::size_t ldb,
+                         std::size_t m, std::size_t n) {
+  // Solve X Lᵀ = B row by row: for each row of B, forward-substitute
+  // against Lᵀ (columns of L).
+  for (std::size_t i = 0; i < m; ++i) {
+    double* brow = &b[i * ldb];
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = brow[j];
+      for (std::size_t p = 0; p < j; ++p) s -= brow[p] * l[j * ldl + p];
+      brow[j] = s / l[j * ldl + j];
+    }
+  }
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  if (x.size() != a.cols() || y.size() != a.rows())
+    throw std::invalid_argument("gemv: size mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    y[i] = acc;
+  }
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: size mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) acc += a(i, p) * b(p, j);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+}  // namespace opm::dense

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+
+#include "dense/matrix.hpp"
+
+/// Hand-written micro-BLAS: the serial back-end the tiled GEMM and
+/// Cholesky kernels are built from (the paper's codes use MKL under
+/// PLASMA; these routines are the from-scratch substitute).
+///
+/// All routines operate on raw row-major blocks described by (pointer,
+/// leading dimension) so tiles of a larger matrix can be addressed without
+/// copies.
+namespace opm::dense {
+
+/// C[mxn] += A[mxk] * B[kxn]   (row-major, leading dimensions lda/ldb/ldc)
+void gemm_block(const double* a, std::size_t lda, const double* b, std::size_t ldb, double* c,
+                std::size_t ldc, std::size_t m, std::size_t n, std::size_t k);
+
+/// C[mxn] += A[kxm]ᵀ * B[kxn]
+void gemm_tn_block(const double* a, std::size_t lda, const double* b, std::size_t ldb, double* c,
+                   std::size_t ldc, std::size_t m, std::size_t n, std::size_t k);
+
+/// C[nxn] -= A[nxk] * A[nxk]ᵀ, updating the lower triangle only (dsyrk).
+void syrk_lower_block(const double* a, std::size_t lda, double* c, std::size_t ldc,
+                      std::size_t n, std::size_t k);
+
+/// C[mxn] -= A[mxk] * B[nxk]ᵀ (dgemm with B transposed, used by Cholesky's
+/// trailing update across tile rows).
+void gemm_nt_sub_block(const double* a, std::size_t lda, const double* b, std::size_t ldb,
+                       double* c, std::size_t ldc, std::size_t m, std::size_t n, std::size_t k);
+
+/// Unblocked Cholesky of the lower triangle of A[nxn] in place (dpotrf).
+/// Returns false when a non-positive pivot is met (A not SPD).
+bool potrf_lower_block(double* a, std::size_t lda, std::size_t n);
+
+/// Solves X * Lᵀ = B in place for X (dtrsm, right/lower/transposed):
+/// B[mxn] <- B * L⁻ᵀ where L is the lower-triangular n x n tile.
+void trsm_right_lt_block(const double* l, std::size_t ldl, double* b, std::size_t ldb,
+                         std::size_t m, std::size_t n);
+
+/// y = A x for a full row-major matrix (reference for SpMV tests).
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// Naive triple-loop C = A * B (reference for GEMM tests).
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
+
+}  // namespace opm::dense

@@ -1,0 +1,41 @@
+#include "dense/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opm::dense {
+
+void Matrix::fill_random(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (auto& v : data_) v = rng.uniform(-1.0, 1.0);
+}
+
+Matrix Matrix::random_spd(std::size_t n, std::uint64_t seed) {
+  // A = (B + Bᵀ)/2 + n·I keeps the construction O(n²) while guaranteeing
+  // strict diagonal dominance (hence positive definiteness).
+  Matrix b(n, n);
+  b.fill_random(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = 0.5 * (b(i, j) + b(j, i));
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = 1.0;
+  return a;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+}  // namespace opm::dense

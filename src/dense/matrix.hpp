@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+/// Dense row-major matrix container used by the GEMM and Cholesky kernels.
+namespace opm::dense {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Allocates a rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> span() { return data_; }
+  std::span<const double> span() const { return data_; }
+
+  /// Total payload bytes (the memory footprint of the matrix data).
+  std::size_t bytes() const { return data_.size() * sizeof(double); }
+
+  /// Fills with uniform random values in [-1, 1) from a deterministic seed.
+  void fill_random(std::uint64_t seed);
+
+  /// Fills with a symmetric positive definite pattern: A = B·Bᵀ/n + n·I
+  /// (diagonally dominant, safe for Cholesky).
+  static Matrix random_spd(std::size_t n, std::uint64_t seed);
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  /// Max-norm of (this - other); both must have identical shape.
+  double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace opm::dense

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+
+#include "dense/blas.hpp"
+#include "dense/matrix.hpp"
+#include "kernels/model.hpp"
+#include "trace/recorder.hpp"
+
+/// Cholesky decomposition — tiled right-looking factorization
+/// (PLASMA/Buttari-style substitute).
+///
+/// A = L·Lᵀ for symmetric positive definite A; the factor L overwrites the
+/// lower triangle in place. Tuning axes match the paper's Figures 8/16:
+/// matrix order n and tile size nb.
+namespace opm::kernels {
+
+/// Real tiled Cholesky, in place on the lower triangle of `a`.
+/// Returns false when a non-positive pivot appears (A not SPD).
+bool cholesky_tiled(dense::Matrix& a, std::size_t tile);
+
+/// Reference unblocked Cholesky (for tests).
+bool cholesky_reference(dense::Matrix& a);
+
+/// Reconstruction error ‖A - L·Lᵀ‖_max given the original matrix and the
+/// computed factor (upper triangle of `l` is ignored).
+double cholesky_residual(const dense::Matrix& original, const dense::Matrix& l);
+
+/// Instrumented tiled Cholesky: the tile-op sequence (POTRF, TRSM, SYRK,
+/// GEMM) reports touches to `rec` at tile-row granularity — matching real
+/// traffic while keeping trace volume manageable. A lives at virtual
+/// address 0.
+template <trace::Recorder R>
+bool cholesky_instrumented(dense::Matrix& a, std::size_t tile, R& rec) {
+  const std::size_t n = a.rows();
+  const std::size_t nb = tile == 0 ? n : std::min(tile, n);
+  auto touch_tile = [&](std::size_t r0, std::size_t c0, std::size_t rm, std::size_t cm,
+                        bool write) {
+    for (std::size_t r = 0; r < rm; ++r) {
+      const std::uint64_t addr = ((r0 + r) * n + c0) * 8;
+      if (write)
+        rec.store(addr, static_cast<std::uint32_t>(cm * 8));
+      else
+        rec.load(addr, static_cast<std::uint32_t>(cm * 8));
+    }
+  };
+
+  for (std::size_t k0 = 0; k0 < n; k0 += nb) {
+    const std::size_t km = std::min(nb, n - k0);
+    touch_tile(k0, k0, km, km, false);
+    if (!dense::potrf_lower_block(&a.data()[k0 * n + k0], n, km)) return false;
+    touch_tile(k0, k0, km, km, true);
+
+    for (std::size_t i0 = k0 + nb; i0 < n; i0 += nb) {
+      const std::size_t im = std::min(nb, n - i0);
+      touch_tile(i0, k0, im, km, false);
+      touch_tile(k0, k0, km, km, false);
+      dense::trsm_right_lt_block(&a.data()[k0 * n + k0], n, &a.data()[i0 * n + k0], n, im, km);
+      touch_tile(i0, k0, im, km, true);
+    }
+
+    for (std::size_t j0 = k0 + nb; j0 < n; j0 += nb) {
+      const std::size_t jm = std::min(nb, n - j0);
+      touch_tile(j0, k0, jm, km, false);
+      touch_tile(j0, j0, jm, jm, false);
+      dense::syrk_lower_block(&a.data()[j0 * n + k0], n, &a.data()[j0 * n + j0], n, jm, km);
+      touch_tile(j0, j0, jm, jm, true);
+      for (std::size_t i0 = j0 + nb; i0 < n; i0 += nb) {
+        const std::size_t im = std::min(nb, n - i0);
+        touch_tile(i0, k0, im, km, false);
+        touch_tile(j0, k0, jm, km, false);
+        touch_tile(i0, j0, im, jm, false);
+        dense::gemm_nt_sub_block(&a.data()[i0 * n + k0], n, &a.data()[j0 * n + k0], n,
+                                 &a.data()[i0 * n + j0], n, im, jm, km);
+        touch_tile(i0, j0, im, jm, true);
+      }
+    }
+  }
+  return true;
+}
+
+/// Analytical model of one tiled Cholesky on `platform` at order `n`,
+/// tile edge `nb`.
+LocalityModel cholesky_model(const sim::Platform& platform, double n, double nb);
+
+}  // namespace opm::kernels

@@ -1,0 +1,137 @@
+#include "kernels/csr5.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opm::kernels {
+
+Csr5Matrix Csr5Matrix::build(const sparse::Csr& a, int omega, int sigma) {
+  if (omega < 1 || sigma < 1) throw std::invalid_argument("csr5: omega/sigma must be >= 1");
+  Csr5Matrix out;
+  out.rows_ = a.rows;
+  out.cols_ = a.cols;
+  out.omega_ = omega;
+  out.sigma_ = sigma;
+  out.row_ptr_ = a.row_ptr;
+
+  const std::size_t nnz = a.nnz();
+  const std::size_t tile = out.tile_size();
+  const std::size_t full_tiles = nnz / tile;
+  out.tail_start_ = full_tiles * tile;
+
+  out.vals_.resize(nnz);
+  out.col_idx_.resize(nnz);
+  out.tile_row_.resize(full_tiles);
+  out.bit_flag_.assign(full_tiles * out.flag_words_per_tile(), 0);
+
+  // Row-start offsets walker: element g starts a row iff g == row_ptr[r]
+  // for the next nonempty row r.
+  std::size_t next_row = 0;
+  auto advance_to = [&](std::size_t g) {
+    while (next_row < static_cast<std::size_t>(a.rows) &&
+           static_cast<std::size_t>(a.row_ptr[next_row]) < g)
+      ++next_row;
+  };
+
+  // Row owning element 0 of each tile (for the tile descriptors).
+  std::size_t owner_row = 0;
+  auto owner_of = [&](std::size_t g) {
+    while (static_cast<std::size_t>(a.row_ptr[owner_row + 1]) <= g) ++owner_row;
+    return static_cast<sparse::index_t>(owner_row);
+  };
+
+  const std::size_t words = out.flag_words_per_tile();
+  for (std::size_t t = 0; t < full_tiles; ++t) {
+    const std::size_t base = t * tile;
+    out.tile_row_[t] = nnz == 0 ? 0 : owner_of(base);
+    for (std::size_t k = 0; k < tile; ++k) {
+      const std::size_t g = base + k;
+      // Lane-major (CSR5 column-major) placement: original in-tile
+      // position k lands in lane k/sigma at depth k%sigma; storage is
+      // depth-major so one SIMD row spans the omega lanes.
+      const std::size_t lane = k / static_cast<std::size_t>(sigma);
+      const std::size_t depth = k % static_cast<std::size_t>(sigma);
+      const std::size_t s = base + depth * static_cast<std::size_t>(omega) + lane;
+      out.vals_[s] = a.values[g];
+      out.col_idx_[s] = a.col_idx[g];
+
+      advance_to(g);
+      const bool starts_row = next_row < static_cast<std::size_t>(a.rows) &&
+                              static_cast<std::size_t>(a.row_ptr[next_row]) == g;
+      if (starts_row) out.bit_flag_[t * words + k / 64] |= 1ull << (k % 64);
+    }
+  }
+  // Tail kept in CSR order.
+  for (std::size_t g = out.tail_start_; g < nnz; ++g) {
+    out.vals_[g] = a.values[g];
+    out.col_idx_[g] = a.col_idx[g];
+  }
+  return out;
+}
+
+void Csr5Matrix::spmv(std::span<const double> x, std::span<double> y) const {
+  if (x.size() != static_cast<std::size_t>(cols_) || y.size() != static_cast<std::size_t>(rows_))
+    throw std::invalid_argument("csr5 spmv: size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+
+  const std::size_t tile = tile_size();
+  const std::size_t words = flag_words_per_tile();
+  const std::size_t full_tiles = tail_start_ / tile;
+
+  for (std::size_t t = 0; t < full_tiles; ++t) {
+    const std::size_t base = t * tile;
+    std::size_t cur_row = static_cast<std::size_t>(tile_row_[t]);
+    double acc = 0.0;
+    // Segmented sum over the tile in original CSR order; bit flags mark
+    // the row boundaries the segmented scan must respect.
+    for (std::size_t k = 0; k < tile; ++k) {
+      const bool flag = (bit_flag_[t * words + k / 64] >> (k % 64)) & 1ull;
+      const std::size_t g = base + k;
+      if (flag) {
+        y[cur_row] += acc;
+        acc = 0.0;
+        while (static_cast<std::size_t>(row_ptr_[cur_row + 1]) <= g) ++cur_row;  // skip empties
+      }
+      const std::size_t lane = k / static_cast<std::size_t>(sigma_);
+      const std::size_t depth = k % static_cast<std::size_t>(sigma_);
+      const std::size_t s = base + depth * static_cast<std::size_t>(omega_) + lane;
+      acc += vals_[s] * x[static_cast<std::size_t>(col_idx_[s])];
+    }
+    y[cur_row] += acc;  // carry-out partial row
+  }
+
+  // CSR-ordered tail.
+  if (tail_start_ < nnz()) {
+    std::size_t row = 0;
+    while (static_cast<std::size_t>(row_ptr_[row + 1]) <= tail_start_) ++row;
+    double acc = 0.0;
+    std::size_t cur = row;
+    for (std::size_t g = tail_start_; g < nnz(); ++g) {
+      while (static_cast<std::size_t>(row_ptr_[cur + 1]) <= g) {
+        y[cur] += acc;
+        acc = 0.0;
+        ++cur;
+      }
+      acc += vals_[g] * x[static_cast<std::size_t>(col_idx_[g])];
+    }
+    y[cur] += acc;
+  }
+}
+
+int Csr5Matrix::autotune_sigma(const sparse::Csr& a) {
+  if (a.rows <= 0 || a.nnz() == 0) return 4;
+  const double mean_row = static_cast<double>(a.nnz()) / static_cast<double>(a.rows);
+  // Piecewise rule mirroring the reference implementation's bounds.
+  if (mean_row <= 4.0) return 4;
+  if (mean_row <= 16.0) return static_cast<int>(mean_row);
+  if (mean_row <= 64.0) return 16;
+  return 32;
+}
+
+std::size_t Csr5Matrix::bytes() const {
+  return vals_.size() * sizeof(double) + col_idx_.size() * sizeof(sparse::index_t) +
+         tile_row_.size() * sizeof(sparse::index_t) + bit_flag_.size() * sizeof(std::uint64_t) +
+         row_ptr_.size() * sizeof(sparse::offset_t);
+}
+
+}  // namespace opm::kernels

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <bit>
+#include <complex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/model.hpp"
+#include "trace/recorder.hpp"
+
+/// FFT — iterative Cooley–Tukey radix-2, and 3D transforms via pencil
+/// passes along each dimension (the FFTW substitute).
+///
+/// The paper runs 3D FFTW (1D along Y, then X, then Z with an all-to-all
+/// in between, section 3.1.3); our pencil decomposition has the same
+/// locality structure: each dimensional pass streams the whole dataset
+/// with strided gathers, which is what makes FFT's effective working set
+/// per pass the full grid.
+namespace opm::kernels {
+
+using cplx = std::complex<double>;
+
+/// Instrumented in-place 1D FFT of power-of-two length: performs the real
+/// transform while reporting every butterfly load/store to `rec`. The data
+/// occupies virtual addresses [base, base + 16·n). `inverse` is normalized
+/// by 1/n so ifft(fft(x)) == x.
+template <trace::Recorder R>
+void fft_1d_instrumented(std::span<cplx> data, bool inverse, std::uint64_t base, R& rec) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (!std::has_single_bit(n)) throw std::invalid_argument("fft: length must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      rec.load(base + i * 16, 16);
+      rec.load(base + j * 16, 16);
+      std::swap(data[i], data[j]);
+      rec.store(base + i * 16, 16);
+      rec.store(base + j * 16, 16);
+    }
+  }
+
+  const double dir = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = dir * 2.0 * 3.14159265358979323846 / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::size_t lo = i + k;
+        const std::size_t hi = i + k + len / 2;
+        rec.load(base + lo * 16, 16);
+        rec.load(base + hi * 16, 16);
+        const cplx u = data[lo];
+        const cplx v = data[hi] * w;
+        data[lo] = u + v;
+        data[hi] = u - v;
+        rec.store(base + lo * 16, 16);
+        rec.store(base + hi * 16, 16);
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : data) v *= inv;
+  }
+}
+
+/// In-place 1D FFT of power-of-two length (uninstrumented).
+void fft_1d(std::span<cplx> data, bool inverse);
+
+/// Reference O(n²) DFT (tests only).
+std::vector<cplx> dft_reference(std::span<const cplx> data, bool inverse);
+
+/// In-place 3D FFT on an nx·ny·nz grid stored x-fastest. All dimensions
+/// must be powers of two. Passes run along Y, then X, then Z — the
+/// paper's FFTW pass order.
+void fft_3d(std::span<cplx> data, std::size_t nx, std::size_t ny, std::size_t nz, bool inverse);
+
+/// Parseval check helper: sum of |v|² over the span.
+double energy(std::span<const cplx> data);
+
+/// Analytical model of one 3D FFT (n_edge³ complex points) on `platform`.
+LocalityModel fft_model(const sim::Platform& platform, double n_edge);
+
+}  // namespace opm::kernels

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+
+#include "dense/blas.hpp"
+#include "dense/matrix.hpp"
+#include "kernels/model.hpp"
+#include "trace/recorder.hpp"
+
+/// GEMM — tiled dense matrix-matrix multiply (PLASMA substitute).
+///
+/// C = A·B + C with square matrices, blocked into nb x nb tiles exactly as
+/// the paper's PLASMA dgemm: the two tuning axes of Figures 7 and 15 are
+/// the matrix order n and the tile size nb.
+namespace opm::kernels {
+
+/// Real tiled GEMM: C += A·B. `tile` is the block edge (clamped to n).
+void gemm_tiled(const dense::Matrix& a, const dense::Matrix& b, dense::Matrix& c,
+                std::size_t tile);
+
+/// Tiled GEMM with BLIS-style panel packing: the active A and B tiles are
+/// copied into dense contiguous buffers before the micro-kernel runs, so
+/// the inner loops stream unit-stride regardless of the matrices' leading
+/// dimension. Numerically identical to gemm_tiled (same accumulation
+/// order); the copy pays off on real hardware by removing strided tile
+/// accesses — the optimization every high-performance BLAS (including
+/// PLASMA's backend) performs.
+void gemm_tiled_packed(const dense::Matrix& a, const dense::Matrix& b, dense::Matrix& c,
+                       std::size_t tile);
+
+/// Instrumented tiled GEMM: performs the same computation while reporting
+/// every element touch to `rec` using a virtual address space that places
+/// A at 0, B after A, and C after B (so flat-mode placement is modelled).
+template <trace::Recorder R>
+void gemm_instrumented(const dense::Matrix& a, const dense::Matrix& b, dense::Matrix& c,
+                       std::size_t tile, R& rec) {
+  const std::size_t n = a.rows();
+  const std::size_t nb = tile == 0 ? n : std::min(tile, n);
+  const std::uint64_t a_base = 0;
+  const std::uint64_t b_base = a.bytes();
+  const std::uint64_t c_base = b_base + b.bytes();
+
+  for (std::size_t i0 = 0; i0 < n; i0 += nb) {
+    const std::size_t im = std::min(nb, n - i0);
+    for (std::size_t j0 = 0; j0 < n; j0 += nb) {
+      const std::size_t jm = std::min(nb, n - j0);
+      for (std::size_t k0 = 0; k0 < n; k0 += nb) {
+        const std::size_t km = std::min(nb, n - k0);
+        // One tile multiply with per-element instrumentation. The access
+        // pattern mirrors gemm_block's i-k-j loop order.
+        for (std::size_t i = 0; i < im; ++i) {
+          for (std::size_t k = 0; k < km; ++k) {
+            rec.load(a_base + ((i0 + i) * n + (k0 + k)) * 8, 8);
+            const double aik = a(i0 + i, k0 + k);
+            for (std::size_t j = 0; j < jm; ++j) {
+              rec.load(b_base + ((k0 + k) * n + (j0 + j)) * 8, 8);
+              rec.load(c_base + ((i0 + i) * n + (j0 + j)) * 8, 8);
+              c(i0 + i, j0 + j) += aik * b(k0 + k, j0 + j);
+              rec.store(c_base + ((i0 + i) * n + (j0 + j)) * 8, 8);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Analytical model of one tiled GEMM execution on `platform` at matrix
+/// order `n` with tile edge `nb`.
+LocalityModel gemm_model(const sim::Platform& platform, double n, double nb);
+
+}  // namespace opm::kernels

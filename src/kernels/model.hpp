@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/platform.hpp"
+#include "sim/timing.hpp"
+
+/// The analytical traffic-model framework — the executable Stepping Model.
+///
+/// Every kernel describes one execution as a LocalityModel: how many flops
+/// it performs, how many bytes its cores request, and — the key piece — a
+/// *miss curve* `miss_bytes(C)`: the bytes that must be fetched from below
+/// a cache of capacity C. The miss curve is exactly what reuse-distance
+/// analysis measures on real traces (opm::trace::ReuseDistanceAnalyzer),
+/// which is how these models are cross-validated.
+///
+/// `build_workload` folds a LocalityModel against a Platform's tier stack:
+/// each tier's channel load is the miss traffic of all capacity above it;
+/// flat-mode OPM partitions split the bottom traffic by footprint; and the
+/// direct-mapped MCDRAM cache pays a conflict-factor capacity derating and
+/// a tag-check bandwidth overhead. Combined with the MLP ramp, the
+/// timing-model output reproduces the paper's cache peaks and valleys
+/// (Figure 6) quantitatively.
+namespace opm::kernels {
+
+/// Smooth miss fraction of a working set `ws` against capacity `capacity`:
+/// ≈0 when ws ≪ capacity, 0.5 at ws = capacity, ≈1 when ws ≫ capacity.
+/// `sharpness` controls the transition width in the log domain.
+double capacity_miss_fraction(double ws, double capacity, double sharpness = 6.0);
+
+/// Analytic description of one kernel execution on one problem size.
+struct LocalityModel {
+  double flops = 0.0;
+  /// Bytes the cores request (L1 channel load).
+  double total_bytes = 0.0;
+  /// Distinct bytes touched (decides flat-mode placement and MLP ramp).
+  double footprint = 0.0;
+  /// Miss curve: capacity (bytes) -> bytes requested from below it.
+  /// Must be non-increasing in capacity.
+  std::function<double(double)> miss_bytes;
+  /// Fraction of machine peak flops the compute stages can achieve.
+  double compute_efficiency = 1.0;
+  /// Outstanding cache-line requests machine-wide at full memory pressure.
+  /// Latency-bound kernels (SpTRSV) have intrinsically low values. The
+  /// fraction of this actually available to a channel ramps with the
+  /// footprint relative to the on-chip cache capacity — the paper's
+  /// cache-valley mechanism ("MLP at this point is insufficient to
+  /// saturate the bandwidth of the lower memory hierarchy").
+  double mlp_max = 64.0;
+  /// Effective-capacity derating for direct-mapped memory-side caches
+  /// (conflict misses; MCDRAM cache mode).
+  double direct_mapped_factor = 0.6;
+  /// Non-overlappable serial time per execution (synchronization costs);
+  /// forwarded to sim::Workload::fixed_time.
+  double fixed_seconds = 0.0;
+};
+
+/// Predicted performance of a model on a platform.
+struct Prediction {
+  sim::Workload workload;
+  sim::TimingBreakdown timing;
+  double gflops = 0.0;
+  double seconds = 0.0;
+  /// Average bandwidth drawn from DDR and from OPM during the run (GB/s),
+  /// inputs to the power model.
+  double ddr_gbps = 0.0;
+  double opm_gbps = 0.0;
+  /// Achieved compute utilization (flops over machine DP peak).
+  double utilization = 0.0;
+};
+
+/// Folds the locality model against the platform's hierarchy.
+sim::Workload build_workload(const sim::Platform& platform, const LocalityModel& model);
+
+/// Full pipeline: workload -> timing -> throughput + power-model inputs.
+Prediction predict(const sim::Platform& platform, const LocalityModel& model);
+
+}  // namespace opm::kernels

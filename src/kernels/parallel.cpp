@@ -1,0 +1,135 @@
+#include "kernels/parallel.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "dense/blas.hpp"
+
+namespace opm::kernels {
+
+void spmv_csr_parallel(const sparse::Csr& a, std::span<const double> x, std::span<double> y,
+                       util::ThreadPool& pool) {
+  if (x.size() != static_cast<std::size_t>(a.cols) ||
+      y.size() != static_cast<std::size_t>(a.rows))
+    throw std::invalid_argument("spmv_csr_parallel: size mismatch");
+  pool.parallel_for(0, static_cast<std::size_t>(a.rows), 256, [&](std::size_t r) {
+    double acc = 0.0;
+    for (sparse::offset_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
+      acc += a.values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
+    y[r] = acc;
+  });
+}
+
+void gemm_tiled_parallel(const dense::Matrix& a, const dense::Matrix& b, dense::Matrix& c,
+                         std::size_t tile, util::ThreadPool& pool) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.rows() != n || b.cols() != n || c.rows() != n || c.cols() != n)
+    throw std::invalid_argument("gemm_tiled_parallel: matrices must be square, same order");
+  const std::size_t nb = tile == 0 ? n : std::min(tile, n);
+  const std::size_t tiles = (n + nb - 1) / nb;
+
+  pool.parallel_for(0, tiles * tiles, 1, [&](std::size_t t) {
+    const std::size_t i0 = (t / tiles) * nb;
+    const std::size_t j0 = (t % tiles) * nb;
+    const std::size_t im = std::min(nb, n - i0);
+    const std::size_t jm = std::min(nb, n - j0);
+    for (std::size_t k0 = 0; k0 < n; k0 += nb) {
+      const std::size_t km = std::min(nb, n - k0);
+      dense::gemm_block(&a.data()[i0 * n + k0], n, &b.data()[k0 * n + j0], n,
+                        &c.data()[i0 * n + j0], n, im, jm, km);
+    }
+  });
+}
+
+void stream_triad_parallel(std::span<double> a, std::span<const double> b,
+                           std::span<const double> c, double alpha, util::ThreadPool& pool) {
+  if (a.size() != b.size() || a.size() != c.size())
+    throw std::invalid_argument("stream_triad_parallel: size mismatch");
+  pool.parallel_for(0, a.size(), 4096, [&](std::size_t i) { a[i] = b[i] + alpha * c[i]; });
+}
+
+void sptrsv_levelset_parallel(const sparse::Csr& l, const LevelSchedule& schedule,
+                              std::span<const double> b, std::span<double> x,
+                              util::ThreadPool& pool) {
+  for (std::size_t lev = 0; lev < schedule.levels(); ++lev) {
+    const auto lo = static_cast<std::size_t>(schedule.level_ptr[lev]);
+    const auto hi = static_cast<std::size_t>(schedule.level_ptr[lev + 1]);
+    pool.parallel_for(lo, hi, 64, [&](std::size_t i) {
+      const auto r = static_cast<std::size_t>(schedule.order[i]);
+      double acc = b[r];
+      double diag = 1.0;
+      for (sparse::offset_t k = l.row_ptr[r]; k < l.row_ptr[r + 1]; ++k) {
+        const auto c = static_cast<std::size_t>(l.col_idx[static_cast<std::size_t>(k)]);
+        const double v = l.values[static_cast<std::size_t>(k)];
+        if (c == r)
+          diag = v;
+        else
+          acc -= v * x[c];
+      }
+      x[r] = acc / diag;
+    });
+  }
+}
+
+void sptrsv_p2p(const sparse::Csr& l, std::span<const double> b, std::span<double> x) {
+  const auto n = static_cast<std::size_t>(l.rows);
+  if (b.size() != n || x.size() != n) throw std::invalid_argument("sptrsv_p2p: size mismatch");
+
+  // Dependents adjacency: for each column c, the rows r > c that read
+  // x[c] — i.e. the CSC of the strictly-lower part.
+  std::vector<sparse::offset_t> dep_ptr(n + 1, 0);
+  std::vector<sparse::index_t> dep_rows(l.nnz());
+  std::vector<std::int32_t> indegree(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (sparse::offset_t k = l.row_ptr[r]; k < l.row_ptr[r + 1]; ++k) {
+      const auto c = static_cast<std::size_t>(l.col_idx[static_cast<std::size_t>(k)]);
+      if (c < r) {
+        ++dep_ptr[c + 1];
+        ++indegree[r];
+      }
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) dep_ptr[c + 1] += dep_ptr[c];
+  {
+    std::vector<sparse::offset_t> cursor(dep_ptr.begin(), dep_ptr.end() - 1);
+    for (std::size_t r = 0; r < n; ++r)
+      for (sparse::offset_t k = l.row_ptr[r]; k < l.row_ptr[r + 1]; ++k) {
+        const auto c = static_cast<std::size_t>(l.col_idx[static_cast<std::size_t>(k)]);
+        if (c < r) dep_rows[static_cast<std::size_t>(cursor[c]++)] = static_cast<sparse::index_t>(r);
+      }
+  }
+
+  // Worklist execution of the dependency DAG.
+  std::vector<sparse::index_t> ready;
+  ready.reserve(n);
+  for (std::size_t r = 0; r < n; ++r)
+    if (indegree[r] == 0) ready.push_back(static_cast<sparse::index_t>(r));
+
+  std::size_t head = 0;
+  std::size_t solved = 0;
+  while (head < ready.size()) {
+    const auto r = static_cast<std::size_t>(ready[head++]);
+    double acc = b[r];
+    double diag = 0.0;
+    for (sparse::offset_t k = l.row_ptr[r]; k < l.row_ptr[r + 1]; ++k) {
+      const auto c = static_cast<std::size_t>(l.col_idx[static_cast<std::size_t>(k)]);
+      const double v = l.values[static_cast<std::size_t>(k)];
+      if (c == r)
+        diag = v;
+      else
+        acc -= v * x[c];
+    }
+    if (diag == 0.0) throw std::domain_error("sptrsv_p2p: zero diagonal");
+    x[r] = acc / diag;
+    ++solved;
+    // Release dependents whose last dependency this row resolved.
+    for (sparse::offset_t k = dep_ptr[r]; k < dep_ptr[r + 1]; ++k) {
+      const auto dependent = dep_rows[static_cast<std::size_t>(k)];
+      if (--indegree[static_cast<std::size_t>(dependent)] == 0) ready.push_back(dependent);
+    }
+  }
+  if (solved != n) throw std::domain_error("sptrsv_p2p: dependency cycle (not triangular?)");
+}
+
+}  // namespace opm::kernels

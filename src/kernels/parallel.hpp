@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+
+#include "dense/matrix.hpp"
+#include "kernels/sptrsv.hpp"
+#include "sparse/formats.hpp"
+#include "util/thread_pool.hpp"
+
+/// Parallel variants of the kernels — the fork-join structure the paper's
+/// codes use with their Table 2 thread counts (4/8 on Broadwell, 64/256
+/// on KNL). Each variant is bit-identical to its serial counterpart for
+/// any worker count (partitioning never reorders floating-point sums
+/// within a row/tile/cell).
+namespace opm::kernels {
+
+/// Row-parallel CSR SpMV: rows are independent.
+void spmv_csr_parallel(const sparse::Csr& a, std::span<const double> x, std::span<double> y,
+                       util::ThreadPool& pool);
+
+/// Tile-parallel GEMM: each (i, j) tile of C is owned by one task that
+/// runs the full k loop, so no two tasks touch the same C elements.
+void gemm_tiled_parallel(const dense::Matrix& a, const dense::Matrix& b, dense::Matrix& c,
+                         std::size_t tile, util::ThreadPool& pool);
+
+/// Element-parallel TRIAD.
+void stream_triad_parallel(std::span<double> a, std::span<const double> b,
+                           std::span<const double> c, double alpha, util::ThreadPool& pool);
+
+/// Level-parallel SpTRSV: rows within a level are independent; levels
+/// form the barriers (exactly what the level-set schedule encodes).
+void sptrsv_levelset_parallel(const sparse::Csr& l, const LevelSchedule& schedule,
+                              std::span<const double> b, std::span<double> x,
+                              util::ThreadPool& pool);
+
+/// Synchronization-sparsified SpTRSV in the style of the paper's SpMP
+/// solver (Park et al.) and the sync-free algorithm (Liu et al.,
+/// Euro-Par'16): instead of level barriers, each row carries an
+/// in-degree counter of unresolved dependencies; solving a row decrements
+/// its dependents and releases the ones reaching zero onto the worklist.
+/// This executes the point-to-point dependency graph directly.
+void sptrsv_p2p(const sparse::Csr& l, std::span<const double> b, std::span<double> x);
+
+}  // namespace opm::kernels

@@ -1,0 +1,58 @@
+#include "kernels/spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opm::kernels {
+
+namespace {
+// Table 2 formulas, verbatim.
+double gemm_ops(const ProblemSize& p) { return 2.0 * p.n * p.n * p.n; }
+double gemm_bytes(const ProblemSize& p) { return 32.0 * p.n * p.n; }
+double chol_ops(const ProblemSize& p) { return p.n * p.n * p.n / 3.0; }
+double chol_bytes(const ProblemSize& p) { return 8.0 * p.n * p.n; }
+double spmv_ops(const ProblemSize& p) { return p.nnz + 2.0 * p.m; }
+double spmv_bytes(const ProblemSize& p) { return 12.0 * p.nnz + 20.0 * p.m; }
+double sptrans_ops(const ProblemSize& p) { return p.nnz * std::log2(std::max(p.nnz, 2.0)); }
+double sptrans_bytes(const ProblemSize& p) { return 24.0 * p.nnz + 8.0 * p.m; }
+double sptrsv_ops(const ProblemSize& p) { return p.nnz + 2.0 * p.m; }
+double sptrsv_bytes(const ProblemSize& p) { return 12.0 * p.nnz + 20.0 * p.m; }
+double fft_ops(const ProblemSize& p) { return 5.0 * p.n * std::log2(std::max(p.n, 2.0)); }
+double fft_bytes(const ProblemSize& p) { return 48.0 * p.n; }
+double stencil_ops(const ProblemSize& p) { return 61.0 * p.n * p.n; }
+double stencil_bytes(const ProblemSize& p) { return 8.0 * p.n * p.n; }
+double stream_ops(const ProblemSize& p) { return 2.0 * p.n; }
+double stream_bytes(const ProblemSize& p) { return 32.0 * p.n; }
+}  // namespace
+
+const std::vector<KernelSpec>& all_kernel_specs() {
+  static const std::vector<KernelSpec> specs = {
+      {"GEMM", "Plasma", "Dense Linear Algebra", "Dense", "O(n^3)", "2n^3", "32n^2", 4, 64,
+       gemm_ops, gemm_bytes},
+      {"Cholesky", "Plasma", "Dense Linear Algebra", "Dense", "O(n^3)", "n^3/3", "8n^2", 4, 64,
+       chol_ops, chol_bytes},
+      {"SpMV", "CSR5", "Sparse Linear Algebra", "Sparse", "O(nnz)", "nnz + 2M", "12nnz + 20M",
+       8, 256, spmv_ops, spmv_bytes},
+      {"SpTRANS", "Scan/MergeTrans", "Sparse Linear Algebra", "Sparse", "O(nnz log nnz)",
+       "nnz log nnz", "24nnz + 8M", 4, 64, sptrans_ops, sptrans_bytes},
+      {"SpTRSV", "P2P-SpTRSV", "Sparse Linear Algebra", "Sparse", "O(nnz)", "nnz + 2M",
+       "12nnz + 20M", 8, 256, sptrsv_ops, sptrsv_bytes},
+      {"FFT", "FFTW", "Spectral Methods", "Others", "O(n log n)", "5n log n", "48n", 8, 256,
+       fft_ops, fft_bytes},
+      {"Stencil", "YASK", "Structured Grid", "Others", "O(n^2)", "61n^2", "8n^2", 8, 256,
+       stencil_ops, stencil_bytes},
+      {"Stream", "Stream", "N/A", "Others", "O(1)", "2n", "32n", 8, 256, stream_ops,
+       stream_bytes},
+  };
+  return specs;
+}
+
+const KernelSpec& kernel_spec(const std::string& name) {
+  for (const auto& s : all_kernel_specs())
+    if (s.name == name) return s;
+  throw std::out_of_range("unknown kernel: " + name);
+}
+
+ProblemSize figure5_problem() { return {.n = 1024.0, .nnz = 1024.0, .m = 32.0}; }
+
+}  // namespace opm::kernels

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Kernel characteristics — the executable form of the paper's Table 2.
+///
+/// Each spec records the operation/byte-count formulas the paper uses to
+/// place kernels on the roofline (Figures 4 and 5), plus the metadata
+/// columns of Table 2 (dwarf class, complexity, optimal thread counts).
+namespace opm::kernels {
+
+/// Scale variables appearing in the Table 2 formulas.
+struct ProblemSize {
+  double n = 0.0;    ///< matrix order / vector length / grid edge
+  double nnz = 0.0;  ///< nonzeros (sparse kernels)
+  double m = 0.0;    ///< rows (sparse kernels)
+};
+
+struct KernelSpec {
+  std::string name;            ///< "GEMM", "SpMV", ...
+  std::string implementation;  ///< the paper's chosen code ("Plasma", "CSR5", ...)
+  std::string dwarf;           ///< Berkeley dwarf class
+  std::string category;        ///< "Dense", "Sparse", "Others"
+  std::string complexity;      ///< e.g. "O(n^3)"
+  std::string ops_formula;     ///< e.g. "2n^3"
+  std::string bytes_formula;   ///< e.g. "32n^2"
+  int threads_broadwell = 0;   ///< optimal thread count used by the paper
+  int threads_knl = 0;
+
+  double (*ops)(const ProblemSize&) = nullptr;
+  double (*bytes)(const ProblemSize&) = nullptr;
+
+  /// Flop-to-byte ratio at the given problem size.
+  double arithmetic_intensity(const ProblemSize& p) const { return ops(p) / bytes(p); }
+};
+
+/// All eight kernel specs, in Table 2 order.
+const std::vector<KernelSpec>& all_kernel_specs();
+
+/// Lookup by name; throws std::out_of_range when unknown.
+const KernelSpec& kernel_spec(const std::string& name);
+
+/// The problem-size assumption of the paper's Figure 5 captions:
+/// n = 1024, nnz = 1024, M = 32.
+ProblemSize figure5_problem();
+
+}  // namespace opm::kernels

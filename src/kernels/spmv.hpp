@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+
+#include "kernels/csr5.hpp"
+#include "kernels/model.hpp"
+#include "sparse/formats.hpp"
+#include "trace/recorder.hpp"
+
+/// SpMV — sparse matrix-vector multiply.
+///
+/// Two implementations: the conventional CSR row loop (the baseline the
+/// CSR5 paper compares against) and the CSR5 tiled kernel (Csr5Matrix).
+/// The analytical model captures the two traffic components that drive the
+/// paper's sparse results: the streaming matrix read (no reuse) and the
+/// gathered x-vector reads (reuse governed by the structure's locality).
+namespace opm::kernels {
+
+/// Baseline CSR SpMV: y = A·x.
+void spmv_csr(const sparse::Csr& a, std::span<const double> x, std::span<double> y);
+
+/// Instrumented CSR SpMV. Virtual layout: row_ptr at 0, then col_idx,
+/// values, x, y — contiguous, so flat-mode placement is meaningful.
+template <trace::Recorder R>
+void spmv_csr_instrumented(const sparse::Csr& a, std::span<const double> x,
+                           std::span<double> y, R& rec) {
+  const std::uint64_t ptr_base = 0;
+  const std::uint64_t col_base = ptr_base + a.row_ptr.size() * 8;
+  const std::uint64_t val_base = col_base + a.col_idx.size() * 4;
+  const std::uint64_t x_base = val_base + a.values.size() * 8;
+  const std::uint64_t y_base = x_base + x.size() * 8;
+
+  for (sparse::index_t r = 0; r < a.rows; ++r) {
+    rec.load(ptr_base + static_cast<std::uint64_t>(r) * 8, 16);  // row_ptr[r], row_ptr[r+1]
+    double acc = 0.0;
+    for (sparse::offset_t k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const auto kk = static_cast<std::uint64_t>(k);
+      rec.load(col_base + kk * 4, 4);
+      rec.load(val_base + kk * 8, 8);
+      const auto c = static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)]);
+      rec.load(x_base + static_cast<std::uint64_t>(c) * 8, 8);
+      acc += a.values[static_cast<std::size_t>(k)] * x[c];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+    rec.store(y_base + static_cast<std::uint64_t>(r) * 8, 8);
+  }
+}
+
+/// Structural inputs of the SpMV analytical model.
+struct SpmvShape {
+  double rows = 0.0;
+  double nnz = 0.0;
+  /// Vector-access locality in [0,1] (see sparse::MatrixDescriptor).
+  double locality = 0.5;
+  /// Coefficient of variation of row lengths (load imbalance).
+  double row_cv = 0.5;
+  bool csr5 = true;  ///< CSR5 kernel (balanced) vs CSR baseline
+};
+
+/// Analytical model of one SpMV execution on `platform`.
+LocalityModel spmv_model(const sim::Platform& platform, const SpmvShape& shape);
+
+}  // namespace opm::kernels

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <span>
+
+#include "kernels/model.hpp"
+#include "sparse/formats.hpp"
+#include "trace/recorder.hpp"
+
+/// SpTRANS — sparse matrix transposition, CSR -> CSC.
+///
+/// Two algorithms mirroring the paper's choices (Wang et al., ICS'16):
+/// ScanTrans (used on Broadwell) — per-partition column histograms, a
+/// vertical scan to offsets, then a scatter pass; and MergeTrans (used on
+/// KNL) — nnz blocks sorted independently, then multiway-merged, which
+/// keeps each pass inside the L2-sized block (the paper's explanation for
+/// MCDRAM's negligible SpTRANS gains, section 4.2.2).
+namespace opm::kernels {
+
+/// ScanTrans with `partitions` histogram partitions (the parallel
+/// decomposition parameter; execution here is serial but the access
+/// pattern matches the parallel algorithm).
+sparse::Csc sptrans_scan(const sparse::Csr& a, int partitions = 4);
+
+/// MergeTrans with blocks of `block_nnz` nonzeros, multiway-merged.
+sparse::Csc sptrans_merge(const sparse::Csr& a, std::size_t block_nnz = 1 << 16);
+
+/// Instrumented ScanTrans scatter pass (the traffic-dominant phase).
+/// Virtual layout: input col_idx at 0, then input values, then output
+/// row_idx, output values, column cursors.
+template <trace::Recorder R>
+sparse::Csc sptrans_scan_instrumented(const sparse::Csr& a, R& rec) {
+  sparse::Csc out;
+  out.rows = a.rows;
+  out.cols = a.cols;
+  out.col_ptr.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+  out.row_idx.resize(a.nnz());
+  out.values.resize(a.nnz());
+
+  const std::uint64_t icol_base = 0;
+  const std::uint64_t ival_base = icol_base + a.nnz() * 4;
+  const std::uint64_t orow_base = ival_base + a.nnz() * 8;
+  const std::uint64_t oval_base = orow_base + a.nnz() * 4;
+  const std::uint64_t cur_base = oval_base + a.nnz() * 8;
+
+  // Histogram pass.
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    rec.load(icol_base + k * 4, 4);
+    ++out.col_ptr[static_cast<std::size_t>(a.col_idx[k]) + 1];
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(a.cols); ++c)
+    out.col_ptr[c + 1] += out.col_ptr[c];
+
+  // Scatter pass.
+  std::vector<sparse::offset_t> cursor(out.col_ptr.begin(), out.col_ptr.end() - 1);
+  for (sparse::index_t r = 0; r < a.rows; ++r) {
+    for (sparse::offset_t k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      rec.load(icol_base + kk * 4, 4);
+      rec.load(ival_base + kk * 8, 8);
+      const auto c = static_cast<std::size_t>(a.col_idx[kk]);
+      rec.load(cur_base + c * 8, 8);
+      const auto pos = static_cast<std::size_t>(cursor[c]++);
+      rec.store(cur_base + c * 8, 8);
+      out.row_idx[pos] = r;
+      out.values[pos] = a.values[kk];
+      rec.store(orow_base + pos * 4, 4);
+      rec.store(oval_base + pos * 8, 8);
+    }
+  }
+  return out;
+}
+
+/// Structural inputs of the SpTRANS analytical model.
+struct SptransShape {
+  double rows = 0.0;
+  double nnz = 0.0;
+  double locality = 0.5;   ///< scatter-target locality (diagonal-ness)
+  bool merge_based = false;  ///< MergeTrans (KNL) vs ScanTrans (Broadwell)
+};
+
+/// Analytical model of one SpTRANS on `platform`.
+LocalityModel sptrans_model(const sim::Platform& platform, const SptransShape& shape);
+
+}  // namespace opm::kernels

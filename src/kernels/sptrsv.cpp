@@ -1,0 +1,154 @@
+#include "kernels/sptrsv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opm::kernels {
+
+double LevelSchedule::average_parallelism() const {
+  if (levels() == 0) return 0.0;
+  return static_cast<double>(order.size()) / static_cast<double>(levels());
+}
+
+LevelSchedule build_level_schedule(const sparse::Csr& l) {
+  if (l.rows != l.cols) throw std::invalid_argument("level schedule: square matrix required");
+  const auto n = static_cast<std::size_t>(l.rows);
+  std::vector<sparse::index_t> level(n, 0);
+  sparse::index_t max_level = 0;
+
+  // Lower-triangular: dependencies point to smaller row indices, so one
+  // forward sweep computes the longest dependency chain per row.
+  for (std::size_t r = 0; r < n; ++r) {
+    sparse::index_t lev = 0;
+    for (sparse::offset_t k = l.row_ptr[r]; k < l.row_ptr[r + 1]; ++k) {
+      const sparse::index_t c = l.col_idx[static_cast<std::size_t>(k)];
+      if (c > static_cast<sparse::index_t>(r))
+        throw std::invalid_argument("level schedule: matrix is not lower triangular");
+      if (c < static_cast<sparse::index_t>(r)) lev = std::max(lev, level[static_cast<std::size_t>(c)] + 1);
+    }
+    level[r] = lev;
+    max_level = std::max(max_level, lev);
+  }
+
+  // Counting sort of rows by level keeps the schedule deterministic.
+  LevelSchedule out;
+  out.level_ptr.assign(static_cast<std::size_t>(max_level) + 2, 0);
+  for (std::size_t r = 0; r < n; ++r) ++out.level_ptr[static_cast<std::size_t>(level[r]) + 1];
+  for (std::size_t i = 1; i < out.level_ptr.size(); ++i) out.level_ptr[i] += out.level_ptr[i - 1];
+  out.order.resize(n);
+  std::vector<sparse::offset_t> cursor(out.level_ptr.begin(), out.level_ptr.end() - 1);
+  for (std::size_t r = 0; r < n; ++r)
+    out.order[static_cast<std::size_t>(cursor[static_cast<std::size_t>(level[r])]++)] =
+        static_cast<sparse::index_t>(r);
+  return out;
+}
+
+void sptrsv_levelset(const sparse::Csr& l, const LevelSchedule& schedule,
+                     std::span<const double> b, std::span<double> x) {
+  trace::NullRecorder null;
+  sptrsv_instrumented(l, schedule, b, x, null);
+}
+
+void sptrsv_reference(const sparse::Csr& l, std::span<const double> b, std::span<double> x) {
+  const auto n = static_cast<std::size_t>(l.rows);
+  if (b.size() != n || x.size() != n) throw std::invalid_argument("sptrsv: size mismatch");
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[r];
+    double diag = 0.0;
+    for (sparse::offset_t k = l.row_ptr[r]; k < l.row_ptr[r + 1]; ++k) {
+      const auto c = static_cast<std::size_t>(l.col_idx[static_cast<std::size_t>(k)]);
+      const double v = l.values[static_cast<std::size_t>(k)];
+      if (c == r)
+        diag = v;
+      else
+        acc -= v * x[c];
+    }
+    if (diag == 0.0) throw std::domain_error("sptrsv: zero diagonal");
+    x[r] = acc / diag;
+  }
+}
+
+double sptrsv_residual(const sparse::Csr& l, std::span<const double> x,
+                       std::span<const double> b) {
+  double worst = 0.0;
+  for (sparse::index_t r = 0; r < l.rows; ++r) {
+    double acc = 0.0;
+    for (sparse::offset_t k = l.row_ptr[static_cast<std::size_t>(r)];
+         k < l.row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
+      acc += l.values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(l.col_idx[static_cast<std::size_t>(k)])];
+    worst = std::max(worst, std::abs(acc - b[static_cast<std::size_t>(r)]));
+  }
+  return worst;
+}
+
+LocalityModel sptrsv_model(const sim::Platform& platform, const SptrsvShape& shape) {
+  LocalityModel m;
+  const double rows = std::max(shape.rows, 1.0);
+  const double nnz = std::max(shape.nnz, 1.0);
+  m.flops = nnz + 2.0 * rows;  // same arithmetic intensity as SpMV (Table 2)
+
+  const double stream_bytes = 12.0 * nnz + 12.0 * rows;
+  const double x_bytes = 8.0 * rows;
+  const double gather_pool = 32.0 * nnz * (1.0 - shape.locality);
+  m.total_bytes = stream_bytes + 8.0 * nnz;
+  m.footprint = stream_bytes + x_bytes + 8.0 * rows;
+
+  const double footprint = m.footprint;
+  m.miss_bytes = [stream_bytes, x_bytes, gather_pool, footprint](double capacity) {
+    const double stream_miss = stream_bytes * capacity_miss_fraction(footprint, capacity);
+    const double x_miss = gather_pool * capacity_miss_fraction(x_bytes, capacity * 0.5);
+    return stream_miss + x_miss;
+  };
+
+  // The dependency chains cap both compute efficiency and — crucially —
+  // memory-level parallelism: only rows of the current level can issue
+  // misses concurrently. This is what makes SpTRSV latency-bound and lets
+  // MCDRAM's higher access latency *hurt* (paper section 4.2.2).
+  const double par = std::max(shape.avg_parallelism, 1.0);
+  const double core_fill = std::min(1.0, par / platform.cores);
+  m.compute_efficiency = 0.30 * core_fill + 0.004;
+  m.mlp_max = std::clamp(par * 0.5, 2.0, 12.0 * platform.cores);
+
+  // Every level boundary is a barrier across the solver's threads; on the
+  // 256-thread KNL that costs microseconds per level, which is what makes
+  // deep-level inputs so slow there (and why the paper's SpTRSV absolute
+  // numbers sit far below SpMV's despite equal intensity).
+  const double levels = shape.levels > 0.0 ? shape.levels : rows / par;
+  const double barrier_seconds = platform.cores >= 32 ? 4.0e-6 : 0.5e-6;
+  m.fixed_seconds = levels * barrier_seconds;
+  return m;
+}
+
+double estimate_sptrsv_parallelism(const sparse::MatrixDescriptor& d) {
+  const double rows = static_cast<double>(d.rows);
+  switch (d.family) {
+    case sparse::Family::kBanded:
+    case sparse::Family::kTridiagPerturbed:
+      // Adjacent-row dependencies: essentially sequential chains.
+      return 2.0;
+    case sparse::Family::kPoisson2D:
+      // Wavefront over a sqrt(n) x sqrt(n) grid: ~2·grid levels.
+      return std::max(1.0, std::sqrt(rows) / 2.0);
+    case sparse::Family::kPoisson3D:
+      // Wavefront over grid³: levels ≈ 3·grid, width ≈ n / (3·grid).
+      return std::max(1.0, rows / (3.0 * std::cbrt(rows)));
+    case sparse::Family::kBlockDiagonal:
+      // Blocks are independent; each block is a short chain.
+      return std::max(1.0, rows / 64.0);
+    case sparse::Family::kArrow:
+      // Head rows serialize, the long tail is one wide level.
+      return std::max(1.0, rows / 8.0);
+    case sparse::Family::kRmat:
+      // Power-law DAGs are shallow: O(log n) levels.
+      return std::max(1.0, rows / (4.0 * std::log2(std::max(rows, 2.0))));
+    case sparse::Family::kRandomUniform:
+      // Random lower-triangular fill: depth grows ~ log n as well, but a
+      // higher average degree deepens chains somewhat.
+      return std::max(1.0, rows / (8.0 * std::log2(std::max(rows, 2.0))));
+  }
+  return 1.0;
+}
+
+}  // namespace opm::kernels

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kernels/model.hpp"
+#include "sparse/collection.hpp"
+#include "sparse/formats.hpp"
+#include "trace/recorder.hpp"
+
+/// SpTRSV — sparse lower-triangular solve L·x = b.
+///
+/// Level-set scheduling in the style of the paper's SpMP/P2P solver (Park
+/// et al.): rows are grouped into dependency levels; rows within a level
+/// are independent and run in parallel, levels synchronize. The number and
+/// width of levels is *input-defined*, which is why SpTRSV's memory-level
+/// parallelism — and hence whether MCDRAM helps or hurts (paper section
+/// 4.2.2) — varies per matrix.
+namespace opm::kernels {
+
+/// Dependency levels of a lower-triangular matrix.
+struct LevelSchedule {
+  /// Rows permuted so each level is contiguous.
+  std::vector<sparse::index_t> order;
+  /// Level boundaries into `order` (levels() + 1 entries).
+  std::vector<sparse::offset_t> level_ptr;
+
+  std::size_t levels() const { return level_ptr.empty() ? 0 : level_ptr.size() - 1; }
+  /// Mean rows per level — the solver's available parallelism.
+  double average_parallelism() const;
+};
+
+/// Builds the level schedule of lower-triangular `l` (diagonal required).
+LevelSchedule build_level_schedule(const sparse::Csr& l);
+
+/// Solves L·x = b by forward substitution in level order.
+void sptrsv_levelset(const sparse::Csr& l, const LevelSchedule& schedule,
+                     std::span<const double> b, std::span<double> x);
+
+/// Reference row-by-row forward substitution (for tests).
+void sptrsv_reference(const sparse::Csr& l, std::span<const double> b, std::span<double> x);
+
+/// Max-norm residual ‖L·x - b‖_inf.
+double sptrsv_residual(const sparse::Csr& l, std::span<const double> x,
+                       std::span<const double> b);
+
+/// Instrumented level-set solve. Virtual layout: row_ptr, col_idx, values,
+/// b, x contiguous from address 0.
+template <trace::Recorder R>
+void sptrsv_instrumented(const sparse::Csr& l, const LevelSchedule& schedule,
+                         std::span<const double> b, std::span<double> x, R& rec) {
+  const std::uint64_t ptr_base = 0;
+  const std::uint64_t col_base = ptr_base + l.row_ptr.size() * 8;
+  const std::uint64_t val_base = col_base + l.col_idx.size() * 4;
+  const std::uint64_t b_base = val_base + l.values.size() * 8;
+  const std::uint64_t x_base = b_base + b.size() * 8;
+
+  for (std::size_t lev = 0; lev < schedule.levels(); ++lev) {
+    for (sparse::offset_t i = schedule.level_ptr[lev]; i < schedule.level_ptr[lev + 1]; ++i) {
+      const auto r = static_cast<std::size_t>(schedule.order[static_cast<std::size_t>(i)]);
+      rec.load(ptr_base + r * 8, 16);
+      rec.load(b_base + r * 8, 8);
+      double acc = b[r];
+      double diag = 1.0;
+      for (sparse::offset_t k = l.row_ptr[r]; k < l.row_ptr[r + 1]; ++k) {
+        const auto kk = static_cast<std::size_t>(k);
+        rec.load(col_base + kk * 4, 4);
+        rec.load(val_base + kk * 8, 8);
+        const auto c = static_cast<std::size_t>(l.col_idx[kk]);
+        if (c == r) {
+          diag = l.values[kk];
+        } else {
+          rec.load(x_base + c * 8, 8);
+          acc -= l.values[kk] * x[c];
+        }
+      }
+      x[r] = acc / diag;
+      rec.store(x_base + r * 8, 8);
+    }
+  }
+}
+
+/// Structural inputs of the SpTRSV analytical model.
+struct SptrsvShape {
+  double rows = 0.0;
+  double nnz = 0.0;
+  double locality = 0.5;
+  /// Mean rows per dependency level (LevelSchedule::average_parallelism).
+  double avg_parallelism = 1.0;
+  /// Number of dependency levels (LevelSchedule::levels()); every level
+  /// boundary costs one thread barrier. 0 derives rows/avg_parallelism.
+  double levels = 0.0;
+};
+
+/// Analytical model of one SpTRSV execution on `platform`.
+LocalityModel sptrsv_model(const sim::Platform& platform, const SptrsvShape& shape);
+
+/// Estimates level-set parallelism for a synthetic-suite member without
+/// materializing it (family-structural reasoning; validated in tests
+/// against real LevelSchedules).
+double estimate_sptrsv_parallelism(const sparse::MatrixDescriptor& d);
+
+}  // namespace opm::kernels

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kernels/model.hpp"
+#include "trace/recorder.hpp"
+
+/// Stencil — iso3dfd: 3D finite difference, 16th order in space, 2nd order
+/// in time (the YASK "iso3dfd" substitute, paper section 3.1.3).
+///
+/// Per grid cell and time step: 61 floating-point operations reading the
+/// 48 axis neighbours within radius 8 plus the center, combined with the
+/// previous time step. Cache blocking over (x, y) tiles bounds the active
+/// working set, exactly the knob YASK's `-b` option tunes.
+namespace opm::kernels {
+
+inline constexpr std::size_t kStencilRadius = 8;  ///< 16th order in space
+
+/// The 9 symmetric FD coefficients c0..c8.
+std::array<double, kStencilRadius + 1> iso3dfd_coefficients();
+
+/// Dense 3D grid pair for the 2nd-order-in-time update.
+struct StencilGrid {
+  std::size_t nx = 0, ny = 0, nz = 0;
+  std::vector<double> current;   ///< u(t)
+  std::vector<double> previous;  ///< u(t-1); overwritten with u(t+1)
+
+  StencilGrid(std::size_t nx_, std::size_t ny_, std::size_t nz_);
+  std::size_t cells() const { return nx * ny * nz; }
+  std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
+    return (z * ny + y) * nx + x;
+  }
+  /// Deterministic wave-like initialization.
+  void seed(std::uint64_t seed);
+};
+
+/// One iso3dfd time step with (bx, by) cache blocking; interior cells only
+/// (a radius-wide halo stays fixed). `previous` receives u(t+1); callers
+/// swap the buffers between steps.
+void stencil_step(StencilGrid& grid, std::size_t bx, std::size_t by);
+
+/// Unblocked reference step (tests).
+void stencil_step_reference(StencilGrid& grid);
+
+/// Runs `steps` time steps with buffer rotation: after each step the new
+/// field u(t+1) becomes `current` and the old `current` becomes
+/// `previous` — the standard 2nd-order-in-time leapfrog driver.
+void stencil_run(StencilGrid& grid, std::size_t steps, std::size_t bx, std::size_t by);
+
+/// Instrumented blocked step: reports every neighbour load and the output
+/// store. current lives at virtual address 0, previous right after it.
+template <trace::Recorder R>
+void stencil_step_instrumented(StencilGrid& g, std::size_t bx, std::size_t by, R& rec) {
+  const auto coeff = iso3dfd_coefficients();
+  const std::uint64_t cur_base = 0;
+  const std::uint64_t prev_base = g.cells() * 8;
+  const std::size_t r = kStencilRadius;
+  if (g.nx < 2 * r + 1 || g.ny < 2 * r + 1 || g.nz < 2 * r + 1) return;
+  const std::size_t bxx = bx == 0 ? g.nx : bx;
+  const std::size_t byy = by == 0 ? g.ny : by;
+
+  for (std::size_t y0 = r; y0 < g.ny - r; y0 += byy) {
+    const std::size_t y1 = std::min(y0 + byy, g.ny - r);
+    for (std::size_t x0 = r; x0 < g.nx - r; x0 += bxx) {
+      const std::size_t x1 = std::min(x0 + bxx, g.nx - r);
+      for (std::size_t z = r; z < g.nz - r; ++z) {
+        for (std::size_t y = y0; y < y1; ++y) {
+          for (std::size_t x = x0; x < x1; ++x) {
+            const std::size_t c = g.index(x, y, z);
+            rec.load(cur_base + c * 8, 8);
+            double acc = coeff[0] * g.current[c];
+            for (std::size_t d = 1; d <= r; ++d) {
+              const std::size_t xm = g.index(x - d, y, z), xp = g.index(x + d, y, z);
+              const std::size_t ym = g.index(x, y - d, z), yp = g.index(x, y + d, z);
+              const std::size_t zm = g.index(x, y, z - d), zp = g.index(x, y, z + d);
+              rec.load(cur_base + xm * 8, 8);
+              rec.load(cur_base + xp * 8, 8);
+              rec.load(cur_base + ym * 8, 8);
+              rec.load(cur_base + yp * 8, 8);
+              rec.load(cur_base + zm * 8, 8);
+              rec.load(cur_base + zp * 8, 8);
+              acc += coeff[d] * (g.current[xm] + g.current[xp] + g.current[ym] +
+                                 g.current[yp] + g.current[zm] + g.current[zp]);
+            }
+            rec.load(prev_base + c * 8, 8);
+            // 2nd order in time: u(t+1) = 2u(t) - u(t-1) + laplacian-term.
+            g.previous[c] = 2.0 * g.current[c] - g.previous[c] + 0.001 * acc;
+            rec.store(prev_base + c * 8, 8);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Analytical model of one iso3dfd sweep over an n_edge³ grid with the
+/// given blocking working-set size (bytes; 3 MB matches the paper's
+/// 64x64x96 blocks).
+LocalityModel stencil_model(const sim::Platform& platform, double n_edge,
+                            double block_working_set = 3.0 * 1024 * 1024);
+
+}  // namespace opm::kernels

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/model.hpp"
+#include "sim/memory_system.hpp"
+#include "trace/recorder.hpp"
+
+/// Stream — the TRIAD kernel a = b + α·c (paper section 3.1.3).
+///
+/// Pure bandwidth probe: 2 flops and 32 bytes (two reads, one
+/// write-allocate + write) per element, arithmetic intensity 1/16.
+namespace opm::kernels {
+
+/// One TRIAD pass: a[i] = b[i] + alpha * c[i].
+void stream_triad(std::span<double> a, std::span<const double> b, std::span<const double> c,
+                  double alpha);
+
+/// Instrumented TRIAD. Virtual layout: a at 0, then b, then c.
+template <trace::Recorder R>
+void stream_triad_instrumented(std::span<double> a, std::span<const double> b,
+                               std::span<const double> c, double alpha, R& rec) {
+  const std::uint64_t a_base = 0;
+  const std::uint64_t b_base = a.size() * 8;
+  const std::uint64_t c_base = b_base + b.size() * 8;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    rec.load(b_base + i * 8, 8);
+    rec.load(c_base + i * 8, 8);
+    a[i] = b[i] + alpha * c[i];
+    rec.store(a_base + i * 8, 8);
+  }
+}
+
+/// Instrumented TRIAD with non-temporal stores, driven straight against a
+/// MemorySystem (NT stores are a memory-system operation, not a plain
+/// recorder event). Removes the read-for-ownership on the output array.
+void stream_triad_nt(std::span<double> a, std::span<const double> b,
+                     std::span<const double> c, double alpha, sim::MemorySystem& system);
+
+/// Analytical model of repeated TRIAD passes over arrays of `n` doubles.
+/// `nt_stores` drops the output array's read-for-ownership (24 instead of
+/// 32 bytes per element), lifting the memory-bound plateau by 4/3 — the
+/// classic icc streaming-store effect on STREAM.
+LocalityModel stream_model(const sim::Platform& platform, double n, bool nt_stores = false);
+
+}  // namespace opm::kernels

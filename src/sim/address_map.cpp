@@ -1,0 +1,17 @@
+#include "sim/address_map.hpp"
+
+namespace opm::sim {
+
+AddressMap::AddressMap(const Platform& platform)
+    : flat_opm_bytes_(platform.flat_opm_bytes), device_count_(platform.devices.size()) {}
+
+std::size_t AddressMap::device_for(std::uint64_t addr) const {
+  if (flat_opm_bytes_ > 0 && addr < flat_opm_bytes_) return 0;
+  return device_count_ - 1;
+}
+
+bool AddressMap::straddles(std::uint64_t footprint_bytes) const {
+  return flat_opm_bytes_ > 0 && footprint_bytes > flat_opm_bytes_;
+}
+
+}  // namespace opm::sim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/platform.hpp"
+
+/// Routing of physical addresses to backing-memory devices.
+///
+/// Emulates the paper's flat-mode allocation discipline: the evaluation
+/// runs under `numactl -p` (preferred allocation on the MCDRAM NUMA node),
+/// so allocations fill the OPM first and spill to DDR once it is exhausted
+/// (paper section 3.3). We model this by routing the address range
+/// [0, flat_opm_bytes) to the OPM device and everything above to DDR —
+/// kernels allocate their buffers bump-style from address 0.
+namespace opm::sim {
+
+class AddressMap {
+ public:
+  explicit AddressMap(const Platform& platform);
+
+  /// Index into platform.devices for the device backing `addr`.
+  std::size_t device_for(std::uint64_t addr) const;
+
+  /// Number of devices.
+  std::size_t device_count() const { return device_count_; }
+
+  /// True when a footprint of the given size would straddle the OPM/DDR
+  /// boundary (triggering the flat-mode split penalty).
+  bool straddles(std::uint64_t footprint_bytes) const;
+
+ private:
+  std::uint64_t flat_opm_bytes_;
+  std::size_t device_count_;
+};
+
+}  // namespace opm::sim

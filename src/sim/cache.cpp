@@ -1,0 +1,165 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace opm::sim {
+
+const char* to_string(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru: return "LRU";
+    case ReplacementPolicy::kFifo: return "FIFO";
+    case ReplacementPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+SetAssociativeCache::SetAssociativeCache(CacheGeometry geometry) : geometry_(geometry) {
+  if (geometry_.line_size == 0 || !std::has_single_bit(geometry_.line_size))
+    throw std::invalid_argument("cache line size must be a power of two");
+  if (geometry_.associativity == 0) throw std::invalid_argument("associativity must be >= 1");
+  if (geometry_.capacity % (static_cast<std::uint64_t>(geometry_.line_size) *
+                            geometry_.associativity) != 0)
+    throw std::invalid_argument("capacity must be a multiple of line_size * associativity");
+  line_mask_ = geometry_.line_size - 1;
+  num_sets_ = geometry_.sets();
+  if (num_sets_ == 0) throw std::invalid_argument("cache must have at least one set");
+}
+
+CacheResult SetAssociativeCache::access(std::uint64_t line_addr, bool is_write) {
+  ++clock_;
+  auto& set = sets_[set_index(line_addr)];
+  const std::uint64_t tag = tag_of(line_addr);
+
+  for (auto& way : set.ways) {
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      way.dirty = way.dirty || is_write;
+      ++stats_.hits;
+      return {.hit = true};
+    }
+  }
+
+  ++stats_.misses;
+  if (is_write && !geometry_.write_allocate) return {};  // write-around: no fill
+
+  CacheResult result;
+  Way* slot = nullptr;
+  if (set.ways.size() < geometry_.associativity) {
+    set.ways.push_back({});
+    slot = &set.ways.back();
+  } else {
+    slot = choose_victim(set);
+    result.evicted = true;
+    result.evicted_dirty = slot->dirty;
+    result.evicted_addr = (slot->tag * num_sets_ + set_index(line_addr)) * geometry_.line_size;
+    ++stats_.evictions;
+    if (slot->dirty) ++stats_.dirty_evictions;
+  }
+  slot->tag = tag;
+  slot->valid = true;
+  slot->dirty = is_write;
+  slot->last_use = clock_;
+  slot->inserted = clock_;
+  return result;
+}
+
+SetAssociativeCache::Way* SetAssociativeCache::choose_victim(Set& set) {
+  switch (geometry_.policy) {
+    case ReplacementPolicy::kLru: {
+      Way* victim = &set.ways.front();
+      for (auto& way : set.ways)
+        if (way.last_use < victim->last_use) victim = &way;
+      return victim;
+    }
+    case ReplacementPolicy::kFifo: {
+      Way* victim = &set.ways.front();
+      for (auto& way : set.ways)
+        if (way.inserted < victim->inserted) victim = &way;
+      return victim;
+    }
+    case ReplacementPolicy::kRandom: {
+      // xorshift64*: deterministic across runs, independent of layout.
+      rng_state_ ^= rng_state_ >> 12;
+      rng_state_ ^= rng_state_ << 25;
+      rng_state_ ^= rng_state_ >> 27;
+      const std::uint64_t r = rng_state_ * 0x2545f4914f6cdd1dull;
+      return &set.ways[r % set.ways.size()];
+    }
+  }
+  return &set.ways.front();
+}
+
+bool SetAssociativeCache::contains(std::uint64_t line_addr) const {
+  const auto it = sets_.find(set_index(line_addr));
+  if (it == sets_.end()) return false;
+  const std::uint64_t tag = tag_of(line_addr);
+  for (const auto& way : it->second.ways)
+    if (way.valid && way.tag == tag) return true;
+  return false;
+}
+
+CacheResult SetAssociativeCache::install(std::uint64_t line_addr, bool dirty) {
+  ++clock_;
+  auto& set = sets_[set_index(line_addr)];
+  const std::uint64_t tag = tag_of(line_addr);
+
+  for (auto& way : set.ways) {
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      way.dirty = way.dirty || dirty;
+      return {.hit = true};
+    }
+  }
+
+  CacheResult result;
+  Way* slot = nullptr;
+  if (set.ways.size() < geometry_.associativity) {
+    set.ways.push_back({});
+    slot = &set.ways.back();
+  } else {
+    slot = choose_victim(set);
+    result.evicted = true;
+    result.evicted_dirty = slot->dirty;
+    result.evicted_addr = (slot->tag * num_sets_ + set_index(line_addr)) * geometry_.line_size;
+    ++stats_.evictions;
+    if (slot->dirty) ++stats_.dirty_evictions;
+  }
+  slot->tag = tag;
+  slot->valid = true;
+  slot->dirty = dirty;
+  slot->last_use = clock_;
+  slot->inserted = clock_;
+  return result;
+}
+
+bool SetAssociativeCache::invalidate(std::uint64_t line_addr, bool& was_dirty) {
+  const auto it = sets_.find(set_index(line_addr));
+  if (it == sets_.end()) return false;
+  const std::uint64_t tag = tag_of(line_addr);
+  for (auto& way : it->second.ways) {
+    if (way.valid && way.tag == tag) {
+      was_dirty = way.dirty;
+      way.valid = false;
+      way.dirty = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetAssociativeCache::reset() {
+  sets_.clear();
+  stats_ = {};
+  clock_ = 0;
+}
+
+std::size_t SetAssociativeCache::resident_lines() const {
+  std::size_t n = 0;
+  for (const auto& [idx, set] : sets_)
+    for (const auto& way : set.ways)
+      if (way.valid) ++n;
+  return n;
+}
+
+}  // namespace opm::sim

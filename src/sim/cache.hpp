@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// Trace-driven set-associative cache model.
+///
+/// This is the exact (per-line-access) cache used for validating the
+/// analytical models: kernels stream their real address traces through a
+/// stack of these. Sets are allocated lazily in a hash map so very large
+/// caches (e.g. the 16 GB MCDRAM direct-mapped cache) only cost memory for
+/// the lines actually touched.
+namespace opm::sim {
+
+/// Way-replacement policy of a set.
+enum class ReplacementPolicy {
+  kLru,     ///< least recently used (the default; matches reuse-distance theory)
+  kFifo,    ///< first in, first out (insertion order, no use-recency update)
+  kRandom,  ///< pseudo-random victim (deterministic xorshift sequence)
+};
+
+const char* to_string(ReplacementPolicy policy);
+
+/// Static parameters of one cache.
+struct CacheGeometry {
+  std::string name = "cache";
+  std::uint64_t capacity = 32 * 1024;  ///< total bytes
+  std::uint32_t line_size = 64;        ///< bytes per line (power of two)
+  std::uint32_t associativity = 8;     ///< ways per set; 1 = direct mapped
+  bool write_allocate = true;          ///< allocate lines on write misses
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+
+  /// Number of sets implied by capacity/line/ways.
+  std::uint64_t sets() const {
+    return capacity / (static_cast<std::uint64_t>(line_size) * associativity);
+  }
+};
+
+/// Outcome of a single line-granular access.
+struct CacheResult {
+  bool hit = false;              ///< line was present
+  bool evicted = false;          ///< an existing line was displaced
+  bool evicted_dirty = false;    ///< the displaced line was dirty
+  std::uint64_t evicted_addr = 0;  ///< line-aligned address of displaced line
+};
+
+/// Hit/miss/writeback counters for one cache instance.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double hit_rate() const {
+    const auto n = accesses();
+    return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// Write-back, write-allocate LRU cache (per-line state only; data payloads
+/// live in the kernels, not the simulator).
+class SetAssociativeCache {
+ public:
+  explicit SetAssociativeCache(CacheGeometry geometry);
+
+  /// Accesses one line. `line_addr` must be line-aligned (use align()).
+  /// On a miss the line is installed; on a write the line is marked dirty.
+  CacheResult access(std::uint64_t line_addr, bool is_write);
+
+  /// Looks a line up without installing or touching LRU state.
+  bool contains(std::uint64_t line_addr) const;
+
+  /// Installs a line without counting it as a demand access (used by the
+  /// victim-cache path, where fills come from upper-level evictions).
+  /// Returns eviction information exactly like access().
+  CacheResult install(std::uint64_t line_addr, bool dirty);
+
+  /// Removes a line if present (victim promotion invalidates the L4 copy).
+  /// Returns true when the line was present; `was_dirty` reports its state.
+  bool invalidate(std::uint64_t line_addr, bool& was_dirty);
+
+  /// Rounds an address down to its line boundary.
+  std::uint64_t align(std::uint64_t addr) const { return addr & ~line_mask_; }
+
+  const CacheGeometry& geometry() const { return geometry_; }
+  const CacheStats& stats() const { return stats_; }
+  /// Clears contents and counters.
+  void reset();
+  /// Number of lines currently resident.
+  std::size_t resident_lines() const;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;   ///< LRU recency
+    std::uint64_t inserted = 0;   ///< FIFO insertion order
+    bool valid = false;
+    bool dirty = false;
+  };
+  struct Set {
+    std::vector<Way> ways;
+  };
+
+  std::uint64_t set_index(std::uint64_t line_addr) const {
+    return (line_addr / geometry_.line_size) % num_sets_;
+  }
+  std::uint64_t tag_of(std::uint64_t line_addr) const {
+    return line_addr / geometry_.line_size / num_sets_;
+  }
+  /// Chooses the victim way of a full set per the replacement policy.
+  Way* choose_victim(Set& set);
+
+  CacheGeometry geometry_;
+  std::uint64_t line_mask_;
+  std::uint64_t num_sets_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t rng_state_ = 0x243f6a8885a308d3ull;  ///< random-policy state
+  std::unordered_map<std::uint64_t, Set> sets_;
+  CacheStats stats_;
+};
+
+}  // namespace opm::sim

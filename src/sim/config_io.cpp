@@ -1,0 +1,173 @@
+#include "sim/config_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace opm::sim {
+
+namespace {
+
+const char* kind_name(TierKind kind) {
+  switch (kind) {
+    case TierKind::kStandard: return "standard";
+    case TierKind::kVictim: return "victim";
+    case TierKind::kMemorySide: return "memory-side";
+  }
+  return "?";
+}
+
+TierKind kind_from(const std::string& s, int line_no) {
+  if (s == "standard") return TierKind::kStandard;
+  if (s == "victim") return TierKind::kVictim;
+  if (s == "memory-side") return TierKind::kMemorySide;
+  throw std::runtime_error("platform config line " + std::to_string(line_no) +
+                           ": unknown tier kind '" + s + "'");
+}
+
+/// Parses "k1:v1 k2:v2 ..." into a map.
+std::map<std::string, std::string> parse_fields(const std::string& body, int line_no) {
+  std::map<std::string, std::string> out;
+  std::istringstream in(body);
+  std::string token;
+  while (in >> token) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos)
+      throw std::runtime_error("platform config line " + std::to_string(line_no) +
+                               ": expected key:value, got '" + token + "'");
+    out[token.substr(0, colon)] = token.substr(colon + 1);
+  }
+  return out;
+}
+
+double field_double(const std::map<std::string, std::string>& f, const std::string& key,
+                    int line_no) {
+  const auto it = f.find(key);
+  if (it == f.end())
+    throw std::runtime_error("platform config line " + std::to_string(line_no) +
+                             ": missing field '" + key + "'");
+  return std::stod(it->second);
+}
+
+std::uint64_t field_u64(const std::map<std::string, std::string>& f, const std::string& key,
+                        int line_no) {
+  const auto it = f.find(key);
+  if (it == f.end())
+    throw std::runtime_error("platform config line " + std::to_string(line_no) +
+                             ": missing field '" + key + "'");
+  return std::stoull(it->second);
+}
+
+}  // namespace
+
+std::string to_config(const Platform& p) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# opm platform config\n";
+  os << "name = " << p.name << "\n";
+  os << "mode_label = " << p.mode_label << "\n";
+  os << "cores = " << p.cores << "\n";
+  os << "threads = " << p.threads << "\n";
+  os << "frequency = " << p.frequency << "\n";
+  os << "sp_peak_flops = " << p.sp_peak_flops << "\n";
+  os << "dp_peak_flops = " << p.dp_peak_flops << "\n";
+  for (const auto& t : p.tiers) {
+    os << "tier = name:" << t.geometry.name << " kind:" << kind_name(t.kind)
+       << " capacity:" << t.geometry.capacity << " line:" << t.geometry.line_size
+       << " ways:" << t.geometry.associativity << " bandwidth:" << t.bandwidth
+       << " latency:" << t.latency << " tag_overhead:" << t.tag_overhead << "\n";
+  }
+  for (const auto& d : p.devices) {
+    os << "device = name:" << d.name << " capacity:" << d.capacity
+       << " bandwidth:" << d.bandwidth << " latency:" << d.latency
+       << " on_package:" << (d.on_package ? 1 : 0) << "\n";
+  }
+  os << "flat_opm_bytes = " << p.flat_opm_bytes << "\n";
+  os << "split_penalty = " << p.split_penalty << "\n";
+  os << "package_idle_watts = " << p.package_idle_watts << "\n";
+  os << "package_max_watts = " << p.package_max_watts << "\n";
+  os << "dram_watts_per_gbps = " << p.dram_watts_per_gbps << "\n";
+  os << "opm_watts_static = " << p.opm_watts_static << "\n";
+  os << "opm_watts_per_gbps = " << p.opm_watts_per_gbps << "\n";
+  return os.str();
+}
+
+Platform parse_platform(std::istream& in) {
+  Platform p;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;  // blank / comment-only line
+
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    auto trim = [](std::string& s) {
+      const auto b = s.find_first_not_of(" \t");
+      const auto e = s.find_last_not_of(" \t");
+      s = b == std::string::npos ? "" : s.substr(b, e - b + 1);
+    };
+    trim(key);
+    trim(value);
+
+    if (key == "name") p.name = value;
+    else if (key == "mode_label") p.mode_label = value;
+    else if (key == "cores") p.cores = std::stoi(value);
+    else if (key == "threads") p.threads = std::stoi(value);
+    else if (key == "frequency") p.frequency = std::stod(value);
+    else if (key == "sp_peak_flops") p.sp_peak_flops = std::stod(value);
+    else if (key == "dp_peak_flops") p.dp_peak_flops = std::stod(value);
+    else if (key == "flat_opm_bytes") p.flat_opm_bytes = std::stoull(value);
+    else if (key == "split_penalty") p.split_penalty = std::stod(value);
+    else if (key == "package_idle_watts") p.package_idle_watts = std::stod(value);
+    else if (key == "package_max_watts") p.package_max_watts = std::stod(value);
+    else if (key == "dram_watts_per_gbps") p.dram_watts_per_gbps = std::stod(value);
+    else if (key == "opm_watts_static") p.opm_watts_static = std::stod(value);
+    else if (key == "opm_watts_per_gbps") p.opm_watts_per_gbps = std::stod(value);
+    else if (key == "tier") {
+      const auto f = parse_fields(value, line_no);
+      CacheTierSpec tier;
+      tier.geometry.name = f.count("name") ? f.at("name") : "tier";
+      tier.kind = kind_from(f.count("kind") ? f.at("kind") : "standard", line_no);
+      tier.geometry.capacity = field_u64(f, "capacity", line_no);
+      tier.geometry.line_size = static_cast<std::uint32_t>(field_u64(f, "line", line_no));
+      tier.geometry.associativity = static_cast<std::uint32_t>(field_u64(f, "ways", line_no));
+      tier.bandwidth = field_double(f, "bandwidth", line_no);
+      tier.latency = field_double(f, "latency", line_no);
+      if (f.count("tag_overhead")) tier.tag_overhead = std::stod(f.at("tag_overhead"));
+      p.tiers.push_back(tier);
+    } else if (key == "device") {
+      const auto f = parse_fields(value, line_no);
+      MemoryDeviceSpec dev;
+      dev.name = f.count("name") ? f.at("name") : "device";
+      dev.capacity = field_u64(f, "capacity", line_no);
+      dev.bandwidth = field_double(f, "bandwidth", line_no);
+      dev.latency = field_double(f, "latency", line_no);
+      dev.on_package = f.count("on_package") && f.at("on_package") == "1";
+      p.devices.push_back(dev);
+    } else {
+      throw std::runtime_error("platform config line " + std::to_string(line_no) +
+                               ": unknown key '" + key + "'");
+    }
+  }
+  if (p.devices.empty())
+    throw std::runtime_error("platform config: at least one device is required");
+  return p;
+}
+
+Platform parse_platform_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_platform(in);
+}
+
+Platform load_platform_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("platform config: cannot open " + path);
+  return parse_platform(in);
+}
+
+}  // namespace opm::sim

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/platform.hpp"
+
+/// Plain-text serialization of Platform descriptions.
+///
+/// Architects exploring design points (the paper's audience C) can dump a
+/// built-in platform, edit capacities/bandwidths/latencies in a text
+/// editor, and load the variant back into any harness — no recompilation.
+/// Format: one `key = value` pair per line; tiers and devices repeat
+/// their line once per entry; '#' starts a comment.
+namespace opm::sim {
+
+/// Serializes a platform (round-trips exactly through parse_platform).
+std::string to_config(const Platform& platform);
+
+/// Parses a platform from config text. Throws std::runtime_error with a
+/// line number on malformed input.
+Platform parse_platform(std::istream& in);
+Platform parse_platform_string(const std::string& text);
+
+/// Reads a platform config from a file.
+Platform load_platform_file(const std::string& path);
+
+}  // namespace opm::sim

@@ -1,0 +1,213 @@
+#include "sim/memory_system.hpp"
+
+#include <algorithm>
+
+namespace opm::sim {
+
+std::uint64_t TrafficReport::device_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& d : devices) total += d.bytes_served;
+  return total;
+}
+
+std::uint64_t TrafficReport::bytes_from(const std::string& name) const {
+  for (const auto& t : tiers)
+    if (t.name == name) return t.bytes_served;
+  for (const auto& d : devices)
+    if (d.name == name) return d.bytes_served;
+  return 0;
+}
+
+MemorySystem::MemorySystem(const Platform& platform)
+    : platform_(platform), address_map_(platform) {
+  for (const auto& tier : platform_.tiers) {
+    caches_.push_back(std::make_unique<SetAssociativeCache>(tier.geometry));
+    line_size_ = tier.geometry.line_size;
+  }
+  tier_hits_.assign(platform_.tiers.size(), 0);
+  tier_writebacks_.assign(platform_.tiers.size(), 0);
+  device_lines_.assign(platform_.devices.size(), 0);
+  device_writeback_lines_.assign(platform_.devices.size(), 0);
+  device_prefetch_lines_.assign(platform_.devices.size(), 0);
+}
+
+void MemorySystem::enable_prefetcher(std::size_t streams, std::size_t depth) {
+  prefetcher_ = std::make_unique<StridePrefetcher>(streams, depth, line_size_);
+}
+
+void MemorySystem::access(std::uint64_t addr, std::uint32_t size, bool is_write) {
+  if (size == 0) return;
+  bytes_ += size;
+  const std::uint64_t mask = ~static_cast<std::uint64_t>(line_size_ - 1);
+  const std::uint64_t first = addr & mask;
+  const std::uint64_t last = (addr + size - 1) & mask;
+  for (std::uint64_t line = first; line <= last; line += line_size_) {
+    ++accesses_;
+    access_line(line, is_write);
+  }
+}
+
+void MemorySystem::store_nt(std::uint64_t addr, std::uint32_t size) {
+  if (size == 0) return;
+  bytes_ += size;
+  const std::uint64_t mask = ~static_cast<std::uint64_t>(line_size_ - 1);
+  const std::uint64_t first = addr & mask;
+  const std::uint64_t last = (addr + size - 1) & mask;
+  for (std::uint64_t line = first; line <= last; line += line_size_) {
+    ++accesses_;
+    // Write-combining: consecutive NT stores into the same line merge in
+    // the WC buffer and reach the device as one line write.
+    if (line == nt_wc_line_) continue;
+    nt_wc_line_ = line;
+    // Coherence: drop any cached copy (its data is now stale).
+    for (auto& cache : caches_) {
+      bool was_dirty = false;
+      cache->invalidate(cache->align(line), was_dirty);
+    }
+    writeback_to_device(line);
+  }
+}
+
+void MemorySystem::access_line(std::uint64_t line_addr, bool is_write) {
+  if (prefetcher_)
+    for (std::uint64_t target : prefetcher_->observe(line_addr)) prefetch_line(target);
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    auto& cache = *caches_[i];
+    const TierKind kind = platform_.tiers[i].kind;
+
+    if (kind == TierKind::kVictim) {
+      // Victim tier (eDRAM L4): demand accesses probe it but never install
+      // into it — fills come exclusively from upper-tier evictions. A hit
+      // promotes the line: the victim copy is invalidated and the copies
+      // installed in the upper tiers during this walk take over (the
+      // non-inclusive semantics of Broadwell's L4, paper section 2.1).
+      bool was_dirty = false;
+      if (cache.invalidate(cache.align(line_addr), was_dirty)) {
+        ++tier_hits_[i];
+        return;
+      }
+      continue;  // victim miss: fall through to the next tier
+    }
+
+    const CacheResult result = cache.access(line_addr, is_write);
+    if (result.evicted) evict_from(i, result.evicted_addr, result.evicted_dirty);
+    if (result.hit) {
+      ++tier_hits_[i];
+      return;
+    }
+  }
+  serve_from_device(line_addr);
+}
+
+bool MemorySystem::next_is_victim(std::size_t i) const {
+  return i + 1 < platform_.tiers.size() && platform_.tiers[i + 1].kind == TierKind::kVictim;
+}
+
+void MemorySystem::evict_from(std::size_t from, std::uint64_t line_addr, bool dirty) {
+  ++tier_writebacks_[from];
+  std::size_t i = from;
+  bool carry_dirty = dirty;
+  std::uint64_t carry_addr = line_addr;
+
+  while (true) {
+    const std::size_t below = i + 1;
+    if (below >= caches_.size()) {
+      // No tier below: dirty lines land on the backing device.
+      if (carry_dirty) writeback_to_device(carry_addr);
+      return;
+    }
+
+    const TierKind kind = platform_.tiers[below].kind;
+    if (kind == TierKind::kVictim) {
+      // Victim fill path: the victim absorbs *all* evictions from the tier
+      // above it, clean or dirty. Its own displaced line continues down.
+      const CacheResult r = caches_[below]->install(carry_addr, carry_dirty);
+      if (!r.evicted) return;
+      carry_addr = r.evicted_addr;
+      carry_dirty = r.evicted_dirty;
+      i = below;
+      continue;
+    }
+
+    if (!carry_dirty) return;  // clean evictions vanish below a non-victim tier
+
+    if (kind == TierKind::kMemorySide) {
+      // A dirty line written back through a memory-side cache (MCDRAM in
+      // cache mode) is absorbed there; a displaced dirty line continues.
+      const CacheResult r = caches_[below]->install(carry_addr, true);
+      if (!r.evicted || !r.evicted_dirty) return;
+      carry_addr = r.evicted_addr;
+      carry_dirty = true;
+      i = below;
+      continue;
+    }
+
+    // Standard tier below: the line is usually already present (the walk
+    // installs top-down); install() then just marks it dirty.
+    const CacheResult r = caches_[below]->install(carry_addr, true);
+    if (!r.evicted || !r.evicted_dirty) return;
+    carry_addr = r.evicted_addr;
+    carry_dirty = true;
+    i = below;
+  }
+}
+
+void MemorySystem::serve_from_device(std::uint64_t line_addr) {
+  ++device_lines_[address_map_.device_for(line_addr)];
+}
+
+void MemorySystem::writeback_to_device(std::uint64_t line_addr) {
+  ++device_writeback_lines_[address_map_.device_for(line_addr)];
+}
+
+void MemorySystem::prefetch_line(std::uint64_t line_addr) {
+  // Already resident anywhere: nothing to fetch.
+  for (const auto& cache : caches_)
+    if (cache->contains(cache->align(line_addr))) return;
+
+  // Fill every standard tier (prefetches train into the cache stack);
+  // displaced lines follow the normal eviction path.
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    if (platform_.tiers[i].kind != TierKind::kStandard) continue;
+    const CacheResult r = caches_[i]->install(line_addr, false);
+    if (r.evicted) evict_from(i, r.evicted_addr, r.evicted_dirty);
+  }
+  ++prefetch_fills_;
+  ++device_prefetch_lines_[address_map_.device_for(line_addr)];
+}
+
+TrafficReport MemorySystem::report() const {
+  TrafficReport out;
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    out.tiers.push_back({.name = platform_.tiers[i].geometry.name,
+                         .hits = tier_hits_[i],
+                         .bytes_served = tier_hits_[i] * line_size_,
+                         .writebacks = tier_writebacks_[i]});
+  }
+  for (std::size_t i = 0; i < platform_.devices.size(); ++i) {
+    out.devices.push_back({.name = platform_.devices[i].name,
+                           .hits = device_lines_[i],
+                           .bytes_served = device_lines_[i] * line_size_,
+                           .writebacks = device_writeback_lines_[i],
+                           .prefetches = device_prefetch_lines_[i]});
+  }
+  out.total_accesses = accesses_;
+  out.total_bytes = bytes_;
+  return out;
+}
+
+void MemorySystem::reset() {
+  for (auto& c : caches_) c->reset();
+  std::fill(tier_hits_.begin(), tier_hits_.end(), 0);
+  std::fill(tier_writebacks_.begin(), tier_writebacks_.end(), 0);
+  std::fill(device_lines_.begin(), device_lines_.end(), 0);
+  std::fill(device_writeback_lines_.begin(), device_writeback_lines_.end(), 0);
+  std::fill(device_prefetch_lines_.begin(), device_prefetch_lines_.end(), 0);
+  prefetch_fills_ = 0;
+  if (prefetcher_) prefetcher_->reset();
+  nt_wc_line_ = ~0ull;
+  accesses_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace opm::sim

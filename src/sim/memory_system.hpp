@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/address_map.hpp"
+#include "sim/cache.hpp"
+#include "sim/platform.hpp"
+#include "sim/prefetcher.hpp"
+
+/// Trace-driven simulation of a full platform memory hierarchy.
+///
+/// A MemorySystem is built from a Platform and consumes the raw memory
+/// access stream of an instrumented kernel. It walks each access through
+/// the tier stack — standard caches, the eDRAM victim L4, the MCDRAM
+/// memory-side cache — and accounts bytes served by every tier and device.
+/// This exact simulation validates the analytical TrafficModel used for
+/// large sweeps (see tests/test_model_validation.cpp).
+namespace opm::sim {
+
+/// Byte accounting for one tier or device after a simulation run.
+struct TierTraffic {
+  std::string name;
+  std::uint64_t hits = 0;        ///< line requests satisfied here
+  std::uint64_t bytes_served = 0;  ///< hits * line_size
+  std::uint64_t writebacks = 0;  ///< dirty lines pushed down from here
+  std::uint64_t prefetches = 0;  ///< prefetch fills served by this device
+};
+
+/// Full traffic picture of a simulated execution.
+struct TrafficReport {
+  std::vector<TierTraffic> tiers;    ///< one per cache tier, L1 first
+  std::vector<TierTraffic> devices;  ///< one per backing device
+  std::uint64_t total_accesses = 0;  ///< line-granular demand accesses
+  std::uint64_t total_bytes = 0;     ///< demand bytes requested by the core
+
+  /// Bytes that had to come from any backing device (the "DRAM traffic").
+  std::uint64_t device_bytes() const;
+  /// Bytes served by the named tier, 0 when absent.
+  std::uint64_t bytes_from(const std::string& name) const;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const Platform& platform);
+
+  /// Simulates one demand access of `size` bytes starting at `addr`
+  /// (split into line-granular requests). `is_write` marks stores.
+  void access(std::uint64_t addr, std::uint32_t size, bool is_write);
+
+  /// Convenience wrappers matching the kernel Recorder interface.
+  void load(std::uint64_t addr, std::uint32_t size) { access(addr, size, false); }
+  void store(std::uint64_t addr, std::uint32_t size) { access(addr, size, true); }
+
+  /// Non-temporal (streaming) store: bypasses the cache stack and writes
+  /// straight to the backing device, invalidating any cached copy for
+  /// coherence. This is what `movnt` does — it removes the read-for-
+  /// ownership from STREAM's write stream (32 -> 24 bytes per element).
+  void store_nt(std::uint64_t addr, std::uint32_t size);
+
+  /// Enables the hardware stride prefetcher (disabled by default so the
+  /// exact-count unit tests stay deterministic line-for-line). Prefetched
+  /// lines are installed into every standard cache tier and accounted as
+  /// device prefetch traffic, not demand traffic.
+  void enable_prefetcher(std::size_t streams = 16, std::size_t depth = 4);
+  /// Prefetcher statistics (zeros when disabled).
+  std::uint64_t prefetch_fills() const { return prefetch_fills_; }
+
+  /// Snapshot of traffic accounted so far.
+  TrafficReport report() const;
+
+  /// Clears all cache contents and counters.
+  void reset();
+
+  const Platform& platform() const { return platform_; }
+
+ private:
+  void access_line(std::uint64_t line_addr, bool is_write);
+  /// Handles a line evicted from tier `from`: fills the victim tier below
+  /// (clean or dirty), pushes dirty lines into the next lower tier, and
+  /// ultimately accounts device writebacks.
+  void evict_from(std::size_t from, std::uint64_t line_addr, bool dirty);
+  /// True when tier `i + 1` exists and is a victim cache.
+  bool next_is_victim(std::size_t i) const;
+  /// Counts a demand line served by the device backing `line_addr`.
+  void serve_from_device(std::uint64_t line_addr);
+  /// Counts a writeback line landing on the device backing `line_addr`.
+  void writeback_to_device(std::uint64_t line_addr);
+  /// Installs a prefetched line into the standard tiers if absent.
+  void prefetch_line(std::uint64_t line_addr);
+
+  Platform platform_;
+  std::unique_ptr<StridePrefetcher> prefetcher_;
+  std::uint64_t prefetch_fills_ = 0;
+  std::vector<std::uint64_t> device_prefetch_lines_;
+  /// One-entry write-combining buffer for non-temporal stores.
+  std::uint64_t nt_wc_line_ = ~0ull;
+  AddressMap address_map_;
+  std::vector<std::unique_ptr<SetAssociativeCache>> caches_;
+  std::vector<std::uint64_t> tier_hits_;
+  std::vector<std::uint64_t> tier_writebacks_;
+  std::vector<std::uint64_t> device_lines_;
+  std::vector<std::uint64_t> device_writeback_lines_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint32_t line_size_ = 64;
+};
+
+}  // namespace opm::sim

@@ -1,0 +1,39 @@
+#include "sim/power.hpp"
+
+#include <algorithm>
+
+namespace opm::sim {
+
+PowerEstimate estimate_power(const Platform& platform, double compute_utilization,
+                             double ddr_gbps, double opm_gbps) {
+  PowerEstimate out;
+  const double u = std::clamp(compute_utilization, 0.0, 1.0);
+  out.opm = platform.opm_watts_static + platform.opm_watts_per_gbps * std::max(opm_gbps, 0.0);
+  out.package = platform.package_idle_watts +
+                (platform.package_max_watts - platform.package_idle_watts) * u + out.opm;
+  out.dram = platform.dram_watts_per_gbps * std::max(ddr_gbps, 0.0);
+  return out;
+}
+
+double energy_joules(const PowerEstimate& power, double seconds) {
+  return power.total() * seconds;
+}
+
+bool opm_saves_energy(double perf_gain_fraction, double power_increase_fraction) {
+  return opm_energy_ratio(perf_gain_fraction, power_increase_fraction) < 1.0;
+}
+
+double opm_energy_ratio(double perf_gain_fraction, double power_increase_fraction) {
+  return (1.0 + power_increase_fraction) / (1.0 + perf_gain_fraction);
+}
+
+double energy_delay_product(const PowerEstimate& power, double seconds) {
+  return energy_joules(power, seconds) * seconds;
+}
+
+double opm_edp_ratio(double perf_gain_fraction, double power_increase_fraction) {
+  const double speedup = 1.0 + perf_gain_fraction;
+  return (1.0 + power_increase_fraction) / (speedup * speedup);
+}
+
+}  // namespace opm::sim

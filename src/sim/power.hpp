@@ -1,0 +1,53 @@
+#pragma once
+
+#include "sim/platform.hpp"
+
+/// Power and energy estimation — the RAPL/PAPI substitute.
+///
+/// The paper (section 5.2) measures average package and DRAM power with
+/// RAPL and derives the energy break-even condition (Eq. 1). On simulated
+/// hardware we compute the same quantities from a calibrated linear model:
+/// package power scales with compute utilization, DDR power with DDR
+/// bandwidth drawn, and OPM adds a static component plus a dynamic
+/// bandwidth-proportional one.
+namespace opm::sim {
+
+/// Average power during a run, watts.
+struct PowerEstimate {
+  double package = 0.0;  ///< cores + uncore + OPM (RAPL "package" domain)
+  double dram = 0.0;     ///< DDR DIMM power (RAPL "DRAM" domain)
+  double opm = 0.0;      ///< portion of `package` attributable to the OPM
+
+  double total() const { return package + dram; }
+};
+
+/// Estimates average power for a run on `platform`.
+///
+/// `compute_utilization` is achieved flops over machine peak (0..1);
+/// `ddr_gbps` and `opm_gbps` are average bandwidths drawn from DDR and the
+/// OPM during the run, in decimal GB/s.
+PowerEstimate estimate_power(const Platform& platform, double compute_utilization,
+                             double ddr_gbps, double opm_gbps);
+
+/// Energy in joules for a run of `seconds` at the estimated power.
+double energy_joules(const PowerEstimate& power, double seconds);
+
+/// The paper's Eq. 1: with an OPM bringing a fractional performance gain P
+/// (e.g. 0.20 for +20 %) at a fractional power increase W, using the OPM
+/// saves energy iff (1 + W) / (1 + P) < 1, i.e. P > W.
+bool opm_saves_energy(double perf_gain_fraction, double power_increase_fraction);
+
+/// Energy ratio E_with / E_without from Eq. 1 (values < 1 mean savings).
+double opm_energy_ratio(double perf_gain_fraction, double power_increase_fraction);
+
+/// Energy-delay product E·t in joule-seconds — the alternative objective
+/// the paper points at ("other metrics such as Energy-Delay products can
+/// also be used to adjust users' final optimization objective", §5.2).
+double energy_delay_product(const PowerEstimate& power, double seconds);
+
+/// EDP ratio EDP_with / EDP_without under Eq. 1's notation:
+/// (1 + W) / (1 + P)² — performance counts twice, so OPM breaks even at a
+/// smaller gain than for pure energy.
+double opm_edp_ratio(double perf_gain_fraction, double power_increase_fraction);
+
+}  // namespace opm::sim

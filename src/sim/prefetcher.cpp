@@ -1,0 +1,67 @@
+#include "sim/prefetcher.hpp"
+
+#include <cstdlib>
+
+namespace opm::sim {
+
+StridePrefetcher::StridePrefetcher(std::size_t streams, std::size_t depth,
+                                   std::uint32_t line_size)
+    : streams_(streams), depth_(depth), line_size_(line_size), table_(streams) {}
+
+std::vector<std::uint64_t> StridePrefetcher::observe(std::uint64_t line_addr) {
+  ++clock_;
+  const std::int64_t line = static_cast<std::int64_t>(line_addr / line_size_);
+
+  // Look for a stream this access continues: either it matches the
+  // established stride, or it is within +/- 2 lines of a tracked head
+  // (stride training).
+  Stream* free_slot = nullptr;
+  Stream* oldest = nullptr;
+  for (auto& s : table_) {
+    if (!s.valid) {
+      free_slot = &s;
+      continue;
+    }
+    const std::int64_t last = static_cast<std::int64_t>(s.last_line);
+    const std::int64_t delta = line - last;
+    if (s.stride != 0 && delta == s.stride) {
+      // Established stream continues: prefetch depth lines ahead.
+      s.last_line = static_cast<std::uint64_t>(line);
+      s.last_use = clock_;
+      ++stream_hits_;
+      std::vector<std::uint64_t> out;
+      out.reserve(depth_);
+      for (std::size_t d = 1; d <= depth_; ++d) {
+        const std::int64_t target = line + s.stride * static_cast<std::int64_t>(d);
+        if (target < 0) break;
+        out.push_back(static_cast<std::uint64_t>(target) * line_size_);
+      }
+      issued_ += out.size();
+      return out;
+    }
+    if (s.stride == 0 && delta != 0 && std::llabs(delta) <= 2) {
+      // Second access of a nascent stream: lock the stride in.
+      s.stride = delta;
+      s.last_line = static_cast<std::uint64_t>(line);
+      s.last_use = clock_;
+      return {};
+    }
+    if (oldest == nullptr || s.last_use < oldest->last_use) oldest = &s;
+  }
+
+  // No stream matched: allocate, preferring a free slot over replacing
+  // the least recently useful stream.
+  Stream* slot = free_slot != nullptr ? free_slot : oldest;
+  slot->valid = true;
+  slot->last_line = static_cast<std::uint64_t>(line);
+  slot->stride = 0;
+  slot->last_use = clock_;
+  return {};
+}
+
+void StridePrefetcher::reset() {
+  for (auto& s : table_) s = {};
+  clock_ = issued_ = stream_hits_ = 0;
+}
+
+}  // namespace opm::sim

@@ -1,0 +1,50 @@
+#include "sim/timing.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace opm::sim {
+
+double effective_bandwidth(const ChannelLoad& channel, double mlp_lines, double line_size) {
+  const double peak = channel.bandwidth * (1.0 - channel.tag_overhead);
+  double bw = peak;
+  if (channel.latency > 0.0 && mlp_lines > 0.0) {
+    // Little's law: concurrency-limited throughput.
+    const double concurrency_bw = mlp_lines * line_size / channel.latency;
+    bw = std::min(bw, concurrency_bw);
+  }
+  const double penalty = std::max(channel.penalty, 1.0);
+  return bw / penalty;
+}
+
+TimingBreakdown predict_time(const Platform& platform, const Workload& work,
+                             bool double_precision) {
+  TimingBreakdown out;
+  const double peak = double_precision ? platform.dp_peak_flops : platform.sp_peak_flops;
+  const double eff = std::clamp(work.compute_efficiency, 1e-6, 1.0);
+  out.compute_time = peak > 0.0 ? work.flops / (peak * eff) : 0.0;
+
+  out.total_time = out.compute_time;
+  out.bound_by = "compute";
+  out.channel_times.reserve(work.channels.size());
+  out.channel_eff_bw.reserve(work.channels.size());
+  for (const auto& ch : work.channels) {
+    const double bw = effective_bandwidth(ch, work.mlp_lines, work.line_size);
+    const double t = (bw > 0.0 && ch.bytes > 0.0) ? ch.bytes / bw : 0.0;
+    out.channel_times.push_back(t);
+    out.channel_eff_bw.push_back(bw);
+    if (t > out.total_time) {
+      out.total_time = t;
+      out.bound_by = ch.name;
+    }
+  }
+  out.total_time += std::max(work.fixed_time, 0.0);
+  return out;
+}
+
+double gflops(const Workload& work, const TimingBreakdown& timing) {
+  return timing.total_time > 0.0 ? util::to_gflops(work.flops / timing.total_time) : 0.0;
+}
+
+}  // namespace opm::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/platform.hpp"
+
+/// Analytical execution-time prediction.
+///
+/// This is the quantitative core of the reproduction: given how many flops
+/// a kernel performs and how many bytes each hierarchy tier must deliver,
+/// it predicts execution time on a simulated platform under an overlap
+/// model — compute and every transfer channel proceed concurrently and the
+/// slowest one bounds the run. Channels can be *bandwidth-bound* (traffic /
+/// peak bandwidth) or *latency-bound* (limited by outstanding-miss
+/// concurrency, i.e. memory-level parallelism) — the distinction the paper
+/// uses to explain why SpTRSV loses on MCDRAM while SpMV wins (section
+/// 4.2.2).
+namespace opm::sim {
+
+/// One transfer channel: a cache tier or a backing device under load.
+struct ChannelLoad {
+  std::string name;
+  double bytes = 0.0;         ///< bytes this channel must deliver
+  double bandwidth = 0.0;     ///< peak bytes/s of the channel
+  double latency = 0.0;       ///< seconds per line when unloaded
+  double tag_overhead = 0.0;  ///< fraction of bandwidth lost to tag checks
+  double penalty = 1.0;       ///< multiplicative slowdown (flat-mode split)
+};
+
+/// A kernel execution expressed as work for the timing model.
+struct Workload {
+  double flops = 0.0;
+  /// Fraction of machine peak the compute stages can reach given the
+  /// kernel's tuning (tiling quality, vectorization, dependency stalls).
+  double compute_efficiency = 1.0;
+  /// Average outstanding line requests across the whole machine. Low MLP
+  /// makes channels latency-bound; high MLP saturates bandwidth.
+  double mlp_lines = 64.0;
+  /// Cache-line size used to convert MLP into deliverable bytes/s.
+  double line_size = 64.0;
+  /// Non-overlappable serial time (e.g. level-set barrier costs in
+  /// SpTRSV); added on top of the overlapped compute/transfer maximum.
+  double fixed_time = 0.0;
+  std::vector<ChannelLoad> channels;
+};
+
+/// Result of a prediction, with per-channel attribution for analysis.
+struct TimingBreakdown {
+  double compute_time = 0.0;
+  std::vector<double> channel_times;   ///< aligned with Workload::channels
+  std::vector<double> channel_eff_bw;  ///< effective bandwidth used
+  double total_time = 0.0;
+  std::string bound_by;  ///< "compute" or the limiting channel's name
+};
+
+/// Effective deliverable bandwidth of one channel under the given MLP:
+/// min(peak * (1 - tag_overhead), mlp_lines * line_size / latency) / penalty.
+double effective_bandwidth(const ChannelLoad& channel, double mlp_lines, double line_size);
+
+/// Predicts the execution time of `work` on `platform`.
+/// `double_precision` selects the flop peak (the paper evaluates DP only).
+TimingBreakdown predict_time(const Platform& platform, const Workload& work,
+                             bool double_precision = true);
+
+/// Convenience: GFlop/s implied by a breakdown.
+double gflops(const Workload& work, const TimingBreakdown& timing);
+
+}  // namespace opm::sim

@@ -1,0 +1,187 @@
+#include "sparse/formats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace opm::sparse {
+
+Csr coo_to_csr(const Coo& coo) {
+  Csr out;
+  out.rows = coo.rows;
+  out.cols = coo.cols;
+  out.row_ptr.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
+
+  // Count, scan, scatter.
+  for (index_t r : coo.row) {
+    if (r < 0 || r >= coo.rows) throw std::out_of_range("coo_to_csr: row index");
+    ++out.row_ptr[static_cast<std::size_t>(r) + 1];
+  }
+  std::partial_sum(out.row_ptr.begin(), out.row_ptr.end(), out.row_ptr.begin());
+
+  std::vector<index_t> cols(coo.nnz());
+  std::vector<double> vals(coo.nnz());
+  std::vector<offset_t> cursor(out.row_ptr.begin(), out.row_ptr.end() - 1);
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    if (coo.col[k] < 0 || coo.col[k] >= coo.cols) throw std::out_of_range("coo_to_csr: col index");
+    const auto pos = static_cast<std::size_t>(cursor[static_cast<std::size_t>(coo.row[k])]++);
+    cols[pos] = coo.col[k];
+    vals[pos] = coo.val[k];
+  }
+
+  // Sort each row by column and merge duplicates.
+  out.col_idx.reserve(coo.nnz());
+  out.values.reserve(coo.nnz());
+  std::vector<offset_t> new_ptr(static_cast<std::size_t>(coo.rows) + 1, 0);
+  std::vector<std::size_t> order;
+  for (index_t r = 0; r < coo.rows; ++r) {
+    const auto lo = static_cast<std::size_t>(out.row_ptr[static_cast<std::size_t>(r)]);
+    const auto hi = static_cast<std::size_t>(out.row_ptr[static_cast<std::size_t>(r) + 1]);
+    order.resize(hi - lo);
+    std::iota(order.begin(), order.end(), lo);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return cols[x] < cols[y]; });
+    for (std::size_t k : order) {
+      if (!out.col_idx.empty() &&
+          static_cast<offset_t>(out.col_idx.size()) > new_ptr[static_cast<std::size_t>(r)] &&
+          out.col_idx.back() == cols[k]) {
+        out.values.back() += vals[k];  // duplicate entry: accumulate
+      } else {
+        out.col_idx.push_back(cols[k]);
+        out.values.push_back(vals[k]);
+      }
+    }
+    new_ptr[static_cast<std::size_t>(r) + 1] = static_cast<offset_t>(out.col_idx.size());
+  }
+  out.row_ptr = std::move(new_ptr);
+  return out;
+}
+
+Csc csr_to_csc(const Csr& a) {
+  Csc out;
+  out.rows = a.rows;
+  out.cols = a.cols;
+  out.col_ptr.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+  out.row_idx.resize(a.nnz());
+  out.values.resize(a.nnz());
+
+  for (index_t c : a.col_idx) ++out.col_ptr[static_cast<std::size_t>(c) + 1];
+  std::partial_sum(out.col_ptr.begin(), out.col_ptr.end(), out.col_ptr.begin());
+
+  std::vector<offset_t> cursor(out.col_ptr.begin(), out.col_ptr.end() - 1);
+  for (index_t r = 0; r < a.rows; ++r) {
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const auto c = static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)]);
+      const auto pos = static_cast<std::size_t>(cursor[c]++);
+      out.row_idx[pos] = r;  // row indices come out sorted per column
+      out.values[pos] = a.values[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+Csr csc_to_csr(const Csc& a) {
+  // Reuse the scan-transpose by viewing the CSC as a CSR of Aᵀ and
+  // transposing it.
+  const Csr at = csc_as_csr_of_transpose(a);
+  const Csc att = csr_to_csc(at);
+  // att is the CSC of Aᵀ, i.e. the CSR of A with arrays renamed.
+  Csr out;
+  out.rows = a.rows;
+  out.cols = a.cols;
+  out.row_ptr = att.col_ptr;
+  out.col_idx = att.row_idx;
+  out.values = att.values;
+  return out;
+}
+
+Csr csc_as_csr_of_transpose(const Csc& a) {
+  Csr out;
+  out.rows = a.cols;
+  out.cols = a.rows;
+  out.row_ptr = a.col_ptr;
+  out.col_idx = a.row_idx;
+  out.values = a.values;
+  return out;
+}
+
+Csr lower_triangle_with_diagonal(const Csr& a, double diag_fill) {
+  if (a.rows != a.cols) throw std::invalid_argument("lower_triangle: matrix must be square");
+  Csr out;
+  out.rows = a.rows;
+  out.cols = a.cols;
+  out.row_ptr.reserve(static_cast<std::size_t>(a.rows) + 1);
+  out.row_ptr.push_back(0);
+  for (index_t r = 0; r < a.rows; ++r) {
+    bool has_diag = false;
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const index_t c = a.col_idx[static_cast<std::size_t>(k)];
+      if (c > r) break;  // rows are column-sorted
+      double v = a.values[static_cast<std::size_t>(k)];
+      if (c == r) {
+        has_diag = true;
+        if (v == 0.0) v = diag_fill;  // keep the system nonsingular
+      }
+      out.col_idx.push_back(c);
+      out.values.push_back(v);
+    }
+    if (!has_diag) {
+      out.col_idx.push_back(r);
+      out.values.push_back(diag_fill);
+    }
+    out.row_ptr.push_back(static_cast<offset_t>(out.col_idx.size()));
+  }
+  return out;
+}
+
+Csr permute_rows(const Csr& a, std::span<const index_t> order) {
+  if (order.size() != static_cast<std::size_t>(a.rows))
+    throw std::invalid_argument("permute_rows: order size mismatch");
+  Csr out;
+  out.rows = a.rows;
+  out.cols = a.cols;
+  out.row_ptr.reserve(order.size() + 1);
+  out.row_ptr.push_back(0);
+  out.col_idx.reserve(a.nnz());
+  out.values.reserve(a.nnz());
+  std::vector<bool> seen(order.size(), false);
+  for (index_t src : order) {
+    if (src < 0 || src >= a.rows || seen[static_cast<std::size_t>(src)])
+      throw std::invalid_argument("permute_rows: order is not a permutation");
+    seen[static_cast<std::size_t>(src)] = true;
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(src)];
+         k < a.row_ptr[static_cast<std::size_t>(src) + 1]; ++k) {
+      out.col_idx.push_back(a.col_idx[static_cast<std::size_t>(k)]);
+      out.values.push_back(a.values[static_cast<std::size_t>(k)]);
+    }
+    out.row_ptr.push_back(static_cast<offset_t>(out.col_idx.size()));
+  }
+  return out;
+}
+
+bool approx_equal(const Csr& a, const Csr& b, double tol) {
+  if (a.rows != b.rows || a.cols != b.cols || a.nnz() != b.nnz()) return false;
+  if (a.row_ptr != b.row_ptr || a.col_idx != b.col_idx) return false;
+  for (std::size_t k = 0; k < a.values.size(); ++k)
+    if (std::abs(a.values[k] - b.values[k]) > tol) return false;
+  return true;
+}
+
+void spmv_reference(const Csr& a, std::span<const double> x, std::span<double> y) {
+  if (x.size() != static_cast<std::size_t>(a.cols) ||
+      y.size() != static_cast<std::size_t>(a.rows))
+    throw std::invalid_argument("spmv_reference: size mismatch");
+  for (index_t r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
+      acc += a.values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+}  // namespace opm::sparse

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// Sparse matrix storage formats and conversions.
+///
+/// Index widths follow the conventions of the evaluated codes (and the
+/// paper's Table 2 byte counts for SpMV: 12·nnz + 20·M assumes 4-byte
+/// column indices with 8-byte values): column indices are 32-bit, row
+/// pointers are 64-bit.
+namespace opm::sparse {
+
+using index_t = std::int32_t;
+using offset_t = std::int64_t;
+
+/// Coordinate format: unordered (row, col, value) triplets.
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<double> val;
+
+  std::size_t nnz() const { return val.size(); }
+  void push(index_t r, index_t c, double v) {
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+};
+
+/// Compressed Sparse Row.
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<offset_t> row_ptr;  ///< rows + 1 entries
+  std::vector<index_t> col_idx;   ///< nnz entries, sorted within each row
+  std::vector<double> values;     ///< nnz entries
+
+  std::size_t nnz() const { return col_idx.size(); }
+  /// Payload bytes of the structure (values + indices + pointers).
+  std::size_t bytes() const {
+    return values.size() * sizeof(double) + col_idx.size() * sizeof(index_t) +
+           row_ptr.size() * sizeof(offset_t);
+  }
+  /// Entries of row r as (cols, vals) spans.
+  std::span<const index_t> row_cols(index_t r) const {
+    return {col_idx.data() + row_ptr[r], static_cast<std::size_t>(row_ptr[r + 1] - row_ptr[r])};
+  }
+  std::span<const double> row_vals(index_t r) const {
+    return {values.data() + row_ptr[r], static_cast<std::size_t>(row_ptr[r + 1] - row_ptr[r])};
+  }
+};
+
+/// Compressed Sparse Column (structurally a Csr of the transpose).
+struct Csc {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<offset_t> col_ptr;  ///< cols + 1 entries
+  std::vector<index_t> row_idx;   ///< nnz entries, sorted within each column
+  std::vector<double> values;
+
+  std::size_t nnz() const { return row_idx.size(); }
+};
+
+/// Builds CSR from COO: duplicate entries are summed, columns sorted.
+Csr coo_to_csr(const Coo& coo);
+
+/// CSR -> CSC via a serial scan-transpose (reference implementation; the
+/// parallel ScanTrans/MergeTrans kernels live in opm::kernels).
+Csc csr_to_csc(const Csr& a);
+
+/// CSC -> CSR (the symmetric conversion).
+Csr csc_to_csr(const Csc& a);
+
+/// Interprets a CSC as the CSR of the transposed matrix (free).
+Csr csc_as_csr_of_transpose(const Csc& a);
+
+/// Extracts the lower triangle (including diagonal) of `a`, forcing every
+/// diagonal entry to be present (value `diag_fill` when missing) so the
+/// result is usable by SpTRSV (paper §A.2.5: "a diagonal is added to any
+/// singular matrices").
+Csr lower_triangle_with_diagonal(const Csr& a, double diag_fill = 1.0);
+
+/// Row permutation B = P·A: row i of the result is row order[i] of `a`.
+/// `order` must be a permutation of [0, rows). Used with
+/// rows_by_descending_length for the paper's segmented-sort row ordering
+/// (section 3.3).
+Csr permute_rows(const Csr& a, std::span<const index_t> order);
+
+/// True when the two matrices have identical structure and values within
+/// `tol` (rows must be column-sorted; coo_to_csr guarantees this).
+bool approx_equal(const Csr& a, const Csr& b, double tol);
+
+/// Dense y = A·x reference (for SpMV tests; O(nnz)).
+void spmv_reference(const Csr& a, std::span<const double> x, std::span<double> y);
+
+}  // namespace opm::sparse

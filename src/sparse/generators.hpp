@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/formats.hpp"
+
+/// Synthetic sparse matrix generators.
+///
+/// Substitute for the UF Sparse Matrix Collection (unavailable offline):
+/// each generator produces a family with a distinct nonzero structure, so
+/// together they span the (rows, nnz, locality) feature space the paper's
+/// sparse heat maps explore. All generators are deterministic in `seed`,
+/// always emit a full diagonal (so SpTRSV systems are nonsingular), and
+/// return column-sorted CSR.
+namespace opm::sparse {
+
+/// Band matrix: entries within `half_bandwidth` of the diagonal, randomly
+/// thinned to hit ~`avg_row_nnz` entries per row. High vector locality.
+Csr make_banded(index_t n, index_t half_bandwidth, double avg_row_nnz, std::uint64_t seed);
+
+/// Uniformly random pattern with ~`avg_row_nnz` entries per row. Worst-case
+/// vector locality (columns scattered over the full range).
+Csr make_random_uniform(index_t n, double avg_row_nnz, std::uint64_t seed);
+
+/// RMAT/power-law matrix (scale-free graph adjacency): a few very heavy
+/// rows/columns, most rows light. `n` is rounded up to a power of two.
+/// Probabilities follow the classic (0.57, 0.19, 0.19, 0.05) corner split.
+Csr make_rmat(index_t n, double avg_row_nnz, std::uint64_t seed);
+
+/// Block-diagonal matrix of dense-ish blocks of size `block`; entries
+/// inside each block kept with probability `fill`.
+Csr make_block_diagonal(index_t n, index_t block, double fill, std::uint64_t seed);
+
+/// 5-point Laplacian stencil on a grid x grid 2D mesh (n = grid²).
+Csr make_poisson2d(index_t grid);
+
+/// 7-point Laplacian stencil on a grid³ 3D mesh (n = grid³).
+Csr make_poisson3d(index_t grid);
+
+/// Arrowhead: dense first `width` rows and columns plus the diagonal.
+Csr make_arrow(index_t n, index_t width, std::uint64_t seed);
+
+/// Tridiagonal plus ~`extra_per_row` random off-band entries per row.
+Csr make_tridiag_perturbed(index_t n, double extra_per_row, std::uint64_t seed);
+
+}  // namespace opm::sparse

@@ -1,0 +1,88 @@
+#include "sparse/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace opm::sparse {
+
+namespace {
+std::string lowercase(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+}  // namespace
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("matrix market: empty stream");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") throw std::runtime_error("matrix market: bad banner");
+  object = lowercase(object);
+  format = lowercase(format);
+  field = lowercase(field);
+  symmetry = lowercase(symmetry);
+  if (object != "matrix" || format != "coordinate")
+    throw std::runtime_error("matrix market: only coordinate matrices are supported");
+  if (field != "real" && field != "integer" && field != "pattern")
+    throw std::runtime_error("matrix market: unsupported field type '" + field + "'");
+  if (symmetry != "general" && symmetry != "symmetric")
+    throw std::runtime_error("matrix market: unsupported symmetry '" + symmetry + "'");
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  long long rows = 0, cols = 0, entries = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream size_line(line);
+    if (!(size_line >> rows >> cols >> entries))
+      throw std::runtime_error("matrix market: bad size line");
+    break;
+  }
+  if (rows <= 0 || cols <= 0 || entries < 0) throw std::runtime_error("matrix market: bad sizes");
+
+  Coo out;
+  out.rows = static_cast<index_t>(rows);
+  out.cols = static_cast<index_t>(cols);
+  out.row.reserve(static_cast<std::size_t>(entries));
+
+  long long seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(entry >> r >> c)) throw std::runtime_error("matrix market: bad entry line");
+    if (!pattern && !(entry >> v)) throw std::runtime_error("matrix market: missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      throw std::runtime_error("matrix market: index out of range");
+    out.push(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if (symmetric && r != c)
+      out.push(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
+    ++seen;
+  }
+  if (seen != entries) throw std::runtime_error("matrix market: truncated entry list");
+  return out;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("matrix market: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows << " " << a.cols << " " << a.nnz() << "\n";
+  for (index_t r = 0; r < a.rows; ++r)
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
+      out << (r + 1) << " " << (a.col_idx[static_cast<std::size_t>(k)] + 1) << " "
+          << a.values[static_cast<std::size_t>(k)] << "\n";
+}
+
+}  // namespace opm::sparse

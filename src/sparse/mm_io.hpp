@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/formats.hpp"
+
+/// Matrix Market I/O.
+///
+/// The paper's sparse datasets are Matrix Market files from the UF Sparse
+/// Matrix Collection; this reader/writer supports the subset those files
+/// use: `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+namespace opm::sparse {
+
+/// Parses a Matrix Market stream into COO. Symmetric files are expanded to
+/// full storage (both triangles). Pattern files get value 1.0 everywhere.
+/// Throws std::runtime_error on malformed input.
+Coo read_matrix_market(std::istream& in);
+
+/// Convenience: reads a file from disk.
+Coo read_matrix_market_file(const std::string& path);
+
+/// Writes a CSR matrix as `matrix coordinate real general` (1-based).
+void write_matrix_market(std::ostream& out, const Csr& a);
+
+}  // namespace opm::sparse

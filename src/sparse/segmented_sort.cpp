@@ -1,0 +1,79 @@
+#include "sparse/segmented_sort.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace opm::sparse {
+
+namespace {
+constexpr std::size_t kInsertionThreshold = 32;
+
+void insertion_sort_segment(std::span<std::int64_t> keys, std::span<std::int32_t> payload,
+                            std::size_t lo, std::size_t hi, bool has_payload) {
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const std::int64_t key = keys[i];
+    const std::int32_t pay = has_payload ? payload[i] : 0;
+    std::size_t j = i;
+    while (j > lo && keys[j - 1] > key) {
+      keys[j] = keys[j - 1];
+      if (has_payload) payload[j] = payload[j - 1];
+      --j;
+    }
+    keys[j] = key;
+    if (has_payload) payload[j] = pay;
+  }
+}
+}  // namespace
+
+void segmented_sort(std::span<std::int64_t> keys, std::span<std::int32_t> payload,
+                    std::span<const std::int64_t> seg_ptr) {
+  const bool has_payload = !payload.empty();
+  if (has_payload && payload.size() != keys.size())
+    throw std::invalid_argument("segmented_sort: payload size mismatch");
+  if (seg_ptr.empty()) return;
+
+  for (std::size_t s = 0; s + 1 < seg_ptr.size(); ++s) {
+    const auto lo = static_cast<std::size_t>(seg_ptr[s]);
+    const auto hi = static_cast<std::size_t>(seg_ptr[s + 1]);
+    if (hi <= lo) continue;
+    if (hi > keys.size()) throw std::out_of_range("segmented_sort: segment beyond keys");
+
+    if (hi - lo <= kInsertionThreshold) {
+      insertion_sort_segment(keys, payload, lo, hi, has_payload);
+    } else if (!has_payload) {
+      std::sort(keys.begin() + static_cast<std::ptrdiff_t>(lo),
+                keys.begin() + static_cast<std::ptrdiff_t>(hi));
+    } else {
+      // Indirect sort that carries the payload along.
+      std::vector<std::size_t> order(hi - lo);
+      std::iota(order.begin(), order.end(), lo);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+      std::vector<std::int64_t> tmp_keys(hi - lo);
+      std::vector<std::int32_t> tmp_pay(hi - lo);
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        tmp_keys[i] = keys[order[i]];
+        tmp_pay[i] = payload[order[i]];
+      }
+      std::copy(tmp_keys.begin(), tmp_keys.end(), keys.begin() + static_cast<std::ptrdiff_t>(lo));
+      std::copy(tmp_pay.begin(), tmp_pay.end(),
+                payload.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+  }
+}
+
+std::vector<std::int32_t> rows_by_descending_length(std::span<const std::int64_t> row_ptr) {
+  if (row_ptr.empty()) return {};
+  const std::size_t rows = row_ptr.size() - 1;
+  std::vector<std::int32_t> order(rows);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const auto la = row_ptr[static_cast<std::size_t>(a) + 1] - row_ptr[static_cast<std::size_t>(a)];
+    const auto lb = row_ptr[static_cast<std::size_t>(b) + 1] - row_ptr[static_cast<std::size_t>(b)];
+    return la > lb;
+  });
+  return order;
+}
+
+}  // namespace opm::sparse

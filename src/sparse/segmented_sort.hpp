@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// Segmented sort and row-ordering utilities.
+///
+/// The paper orders the rows of every test matrix "by using the segmented
+/// sort [22] for best performance" (section 3.3); this module provides the
+/// segmented sort primitive and the derived row permutation.
+namespace opm::sparse {
+
+/// Sorts each segment [seg_ptr[i], seg_ptr[i+1]) of `keys` ascending,
+/// applying the same permutation to `payload` (which may be empty).
+/// Mirrors the GPU segmented-sort interface of Hou et al. [22] on the CPU:
+/// short segments use insertion sort, long segments use introsort.
+void segmented_sort(std::span<std::int64_t> keys, std::span<std::int32_t> payload,
+                    std::span<const std::int64_t> seg_ptr);
+
+/// Returns a permutation of row indices ordering rows by descending length
+/// (ties broken by row index, keeping the permutation deterministic).
+/// `row_ptr` is a CSR row-pointer array of `rows + 1` entries.
+std::vector<std::int32_t> rows_by_descending_length(std::span<const std::int64_t> row_ptr);
+
+}  // namespace opm::sparse

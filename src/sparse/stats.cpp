@@ -1,0 +1,37 @@
+#include "sparse/stats.hpp"
+
+#include <cmath>
+
+namespace opm::sparse {
+
+MatrixStats compute_stats(const Csr& a) {
+  MatrixStats s;
+  s.rows = a.rows;
+  s.cols = a.cols;
+  s.nnz = static_cast<std::int64_t>(a.nnz());
+  s.csr_bytes = static_cast<std::int64_t>(a.bytes());
+  s.spmv_footprint_bytes = spmv_footprint(s.nnz, s.rows);
+  if (a.rows == 0) return s;
+
+  double len_sum = 0.0, len_sq = 0.0;
+  double band_sum = 0.0;
+  for (index_t r = 0; r < a.rows; ++r) {
+    const auto lo = a.row_ptr[static_cast<std::size_t>(r)];
+    const auto hi = a.row_ptr[static_cast<std::size_t>(r) + 1];
+    const double len = static_cast<double>(hi - lo);
+    len_sum += len;
+    len_sq += len * len;
+    s.max_row_nnz = std::max<std::int64_t>(s.max_row_nnz, hi - lo);
+    for (offset_t k = lo; k < hi; ++k)
+      band_sum += std::abs(static_cast<double>(a.col_idx[static_cast<std::size_t>(k)]) -
+                           static_cast<double>(r));
+  }
+  const double rows = static_cast<double>(a.rows);
+  s.avg_row_nnz = len_sum / rows;
+  const double var = len_sq / rows - s.avg_row_nnz * s.avg_row_nnz;
+  s.row_cv = s.avg_row_nnz > 0.0 ? std::sqrt(std::max(var, 0.0)) / s.avg_row_nnz : 0.0;
+  s.mean_band = s.nnz > 0 ? band_sum / static_cast<double>(s.nnz) : 0.0;
+  return s;
+}
+
+}  // namespace opm::sparse

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/formats.hpp"
+
+/// Structural statistics of a sparse matrix.
+///
+/// These are exactly the features the paper's sparse analysis consumes:
+/// the heat maps of Figures 9–11 and 20–22 are indexed by (rows, nnz), the
+/// scatter plots by memory footprint, and the throughput models by reuse
+/// characteristics (average row length, bandwidth of the nonzero pattern).
+namespace opm::sparse {
+
+struct MatrixStats {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nnz = 0;
+  double avg_row_nnz = 0.0;
+  std::int64_t max_row_nnz = 0;
+  /// Coefficient of variation of row lengths (row imbalance).
+  double row_cv = 0.0;
+  /// Mean |col - row| over all entries: how far accesses stray from the
+  /// diagonal, which governs x-vector locality in SpMV/SpTRSV.
+  double mean_band = 0.0;
+  /// SpMV working footprint per the paper's model: 12·nnz + 20·rows bytes.
+  std::int64_t spmv_footprint_bytes = 0;
+  /// Full CSR storage bytes.
+  std::int64_t csr_bytes = 0;
+};
+
+/// Computes statistics in one O(nnz) pass.
+MatrixStats compute_stats(const Csr& a);
+
+/// SpMV footprint (paper Table 2 byte model) from raw dimensions.
+constexpr std::int64_t spmv_footprint(std::int64_t nnz, std::int64_t rows) {
+  return 12 * nnz + 20 * rows;
+}
+
+}  // namespace opm::sparse

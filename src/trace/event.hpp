@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+
+/// Memory-trace event types shared by recorders and analyzers.
+namespace opm::trace {
+
+/// One demand access emitted by an instrumented kernel.
+struct MemEvent {
+  std::uint64_t addr = 0;
+  std::uint32_t size = 0;
+  bool is_write = false;
+};
+
+}  // namespace opm::trace

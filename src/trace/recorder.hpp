@@ -1,0 +1,74 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "sim/memory_system.hpp"
+#include "trace/event.hpp"
+
+/// Recorder interfaces for instrumented kernels.
+///
+/// Every kernel in opm::kernels has an instrumented variant that is a
+/// template over a Recorder. The kernel executes its real computation on
+/// real data and, alongside, reports each memory touch to the recorder.
+/// Plugging in different recorders yields: nothing (NullRecorder — plain
+/// fast execution), an exact cache simulation (SystemRecorder), a stored
+/// trace (VectorRecorder — unit tests), or a reuse-distance profile.
+namespace opm::trace {
+
+/// Anything with load/store methods taking (addr, size).
+template <typename R>
+concept Recorder = requires(R r, std::uint64_t addr, std::uint32_t size) {
+  { r.load(addr, size) };
+  { r.store(addr, size) };
+};
+
+/// Discards all events; instrumented kernels run at full speed.
+struct NullRecorder {
+  void load(std::uint64_t, std::uint32_t) {}
+  void store(std::uint64_t, std::uint32_t) {}
+};
+
+/// Stores the raw event stream (tests and debugging only — memory-hungry).
+struct VectorRecorder {
+  std::vector<MemEvent> events;
+  void load(std::uint64_t addr, std::uint32_t size) { events.push_back({addr, size, false}); }
+  void store(std::uint64_t addr, std::uint32_t size) { events.push_back({addr, size, true}); }
+};
+
+/// Streams events straight into a trace-driven MemorySystem.
+class SystemRecorder {
+ public:
+  explicit SystemRecorder(sim::MemorySystem& system) : system_(&system) {}
+  void load(std::uint64_t addr, std::uint32_t size) { system_->load(addr, size); }
+  void store(std::uint64_t addr, std::uint32_t size) { system_->store(addr, size); }
+
+ private:
+  sim::MemorySystem* system_;
+};
+
+/// Forwards each event to two recorders (e.g. system + reuse profile).
+template <Recorder A, Recorder B>
+class TeeRecorder {
+ public:
+  TeeRecorder(A& a, B& b) : a_(&a), b_(&b) {}
+  void load(std::uint64_t addr, std::uint32_t size) {
+    a_->load(addr, size);
+    b_->load(addr, size);
+  }
+  void store(std::uint64_t addr, std::uint32_t size) {
+    a_->store(addr, size);
+    b_->store(addr, size);
+  }
+
+ private:
+  A* a_;
+  B* b_;
+};
+
+static_assert(Recorder<NullRecorder>);
+static_assert(Recorder<VectorRecorder>);
+static_assert(Recorder<SystemRecorder>);
+
+}  // namespace opm::trace

@@ -1,0 +1,92 @@
+#include "trace/reuse.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace opm::trace {
+
+namespace {
+std::size_t lowbit(std::size_t i) { return i & (~i + 1); }
+}  // namespace
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(std::uint32_t line_size) : line_size_(line_size) {
+  if (line_size == 0 || !std::has_single_bit(line_size))
+    throw std::invalid_argument("line size must be a power of two");
+  line_shift_ = static_cast<std::uint64_t>(std::countr_zero(line_size));
+  fenwick_.push_back(0);  // 1-based tree; slot 0 unused
+}
+
+void ReuseDistanceAnalyzer::touch(std::uint64_t addr, std::uint32_t size) {
+  if (size == 0) return;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + size - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    const std::size_t now = static_cast<std::size_t>(accesses_);
+    ++accesses_;
+
+    const auto it = last_use_.find(line);
+    if (it == last_use_.end()) {
+      ++cold_;
+      fenwick_append(1);
+      last_use_.emplace(line, now);
+    } else {
+      const std::size_t prev = it->second;
+      // Live markers are the most-recent access of each distinct line, so
+      // the count of markers strictly after `prev` is the stack distance.
+      const std::uint64_t total_markers = last_use_.size();
+      const std::uint64_t at_or_before_prev =
+          static_cast<std::uint64_t>(fenwick_prefix(prev + 1));
+      const std::uint64_t distance = total_markers - at_or_before_prev;
+      ++histogram_[distance];
+      fenwick_add(prev, -1);  // marker moves from prev to now
+      fenwick_append(1);
+      it->second = now;
+    }
+  }
+}
+
+std::uint64_t ReuseDistanceAnalyzer::miss_lines(std::uint64_t capacity_lines) const {
+  // An access with stack distance d hits a fully associative LRU cache of
+  // capacity_lines lines iff d < capacity_lines (d intervening distinct
+  // lines plus the reused line itself still fit). Cold misses always miss.
+  std::uint64_t misses = cold_;
+  for (const auto& [distance, count] : histogram_)
+    if (distance >= capacity_lines) misses += count;
+  return misses;
+}
+
+std::uint64_t ReuseDistanceAnalyzer::miss_bytes(std::uint64_t capacity_bytes) const {
+  return miss_lines(capacity_bytes / line_size_) * line_size_;
+}
+
+double ReuseDistanceAnalyzer::hit_rate(std::uint64_t capacity_bytes) const {
+  if (accesses_ == 0) return 0.0;
+  const std::uint64_t misses = miss_lines(capacity_bytes / line_size_);
+  return 1.0 - static_cast<double>(misses) / static_cast<double>(accesses_);
+}
+
+void ReuseDistanceAnalyzer::fenwick_append(std::int64_t value) {
+  // Online Fenwick construction: the node for 1-based index i covers the
+  // range (i - lowbit(i), i]; seed it from existing prefix sums so that
+  // earlier point-updates are already reflected.
+  const std::size_t i = fenwick_.size();  // new 1-based index
+  const std::int64_t below = fenwick_prefix_1based(i - 1);
+  const std::int64_t range_start = fenwick_prefix_1based(i - lowbit(i));
+  fenwick_.push_back(below - range_start + value);
+}
+
+void ReuseDistanceAnalyzer::fenwick_add(std::size_t pos, std::int64_t delta) {
+  for (std::size_t i = pos + 1; i < fenwick_.size(); i += lowbit(i)) fenwick_[i] += delta;
+}
+
+std::int64_t ReuseDistanceAnalyzer::fenwick_prefix(std::size_t count) const {
+  return fenwick_prefix_1based(count);
+}
+
+std::int64_t ReuseDistanceAnalyzer::fenwick_prefix_1based(std::size_t k) const {
+  std::int64_t sum = 0;
+  for (std::size_t i = k; i > 0; i -= lowbit(i)) sum += fenwick_[i];
+  return sum;
+}
+
+}  // namespace opm::trace

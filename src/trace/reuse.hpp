@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+/// Reuse-distance (LRU stack distance) analysis.
+///
+/// The stack distance of an access is the number of *distinct* cache lines
+/// touched since the previous access to the same line. Under a fully
+/// associative LRU cache of capacity C lines, an access hits iff its stack
+/// distance is < C — so one pass over a trace yields the miss curve
+/// miss_lines(C) for *every* capacity at once. This is how the analytical
+/// per-kernel traffic models are cross-validated against real traces.
+///
+/// Implementation: classic Bennett–Kruskal algorithm with a Fenwick tree
+/// over access timestamps; O(log n) per access.
+namespace opm::trace {
+
+class ReuseDistanceAnalyzer {
+ public:
+  /// `line_size` must be a power of two; accesses are line-granular.
+  explicit ReuseDistanceAnalyzer(std::uint32_t line_size = 64);
+
+  /// Recorder interface: reads and writes profile identically.
+  void load(std::uint64_t addr, std::uint32_t size) { touch(addr, size); }
+  void store(std::uint64_t addr, std::uint32_t size) { touch(addr, size); }
+
+  /// Records one access of `size` bytes at `addr`.
+  void touch(std::uint64_t addr, std::uint32_t size);
+
+  /// Total line-granular accesses recorded.
+  std::uint64_t accesses() const { return accesses_; }
+  /// Accesses to lines never seen before (cold misses).
+  std::uint64_t cold_misses() const { return cold_; }
+  /// Number of distinct lines touched (the footprint, in lines).
+  std::uint64_t distinct_lines() const { return cold_; }
+
+  /// Misses of a fully associative LRU cache with `capacity_lines` lines
+  /// (cold misses included).
+  std::uint64_t miss_lines(std::uint64_t capacity_lines) const;
+
+  /// Same expressed in bytes: misses of a cache of `capacity_bytes`.
+  std::uint64_t miss_bytes(std::uint64_t capacity_bytes) const;
+
+  /// Hit rate at the given capacity in bytes.
+  double hit_rate(std::uint64_t capacity_bytes) const;
+
+  /// The raw distance histogram: distance -> access count. Distance is in
+  /// distinct lines; cold misses are excluded (they miss at any capacity).
+  const std::map<std::uint64_t, std::uint64_t>& histogram() const { return histogram_; }
+
+  std::uint32_t line_size() const { return line_size_; }
+
+ private:
+  // Append-only Fenwick tree over access timestamps (1-based internally).
+  void fenwick_append(std::int64_t value);
+  void fenwick_add(std::size_t pos, std::int64_t delta);
+  /// Sum of the first `count` timestamp slots (0-based positions 0..count-1).
+  std::int64_t fenwick_prefix(std::size_t count) const;
+  std::int64_t fenwick_prefix_1based(std::size_t k) const;
+
+  std::uint32_t line_size_;
+  std::uint64_t line_shift_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t cold_ = 0;
+  std::vector<std::int64_t> fenwick_;
+  std::unordered_map<std::uint64_t, std::size_t> last_use_;  // line -> timestamp
+  std::map<std::uint64_t, std::uint64_t> histogram_;
+};
+
+}  // namespace opm::trace

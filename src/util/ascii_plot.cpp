@@ -1,0 +1,94 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace opm::util {
+
+namespace {
+constexpr const char* kGlyphs = "*o+x#@%&";
+constexpr const char* kShades = " .:-=+*#%@";
+
+double tx(double x, bool log_x) { return log_x ? std::log2(std::max(x, 1e-300)) : x; }
+}  // namespace
+
+std::string render_line_plot(std::span<const Series> series, std::size_t width,
+                             std::size_t height, bool log_x, const std::string& x_label,
+                             const std::string& y_label) {
+  if (series.empty() || width < 8 || height < 4) return "";
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = 0.0;  // throughput plots are anchored at zero
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double x : s.x) {
+      const double v = tx(x, log_x);
+      x_min = std::min(x_min, v);
+      x_max = std::max(x_max, v);
+    }
+    for (double y : s.y) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (!(x_max > x_min)) x_max = x_min + 1.0;
+  if (!(y_max > y_min)) y_max = y_min + 1.0;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % 8];
+    const auto& s = series[si];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fx = (tx(s.x[i], log_x) - x_min) / (x_max - x_min);
+      const double fy = (s.y[i] - y_min) / (y_max - y_min);
+      auto cx = static_cast<std::size_t>(std::round(fx * static_cast<double>(width - 1)));
+      auto cy = static_cast<std::size_t>(std::round(fy * static_cast<double>(height - 1)));
+      cx = std::min(cx, width - 1);
+      cy = std::min(cy, height - 1);
+      canvas[height - 1 - cy][cx] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << y_label << " (max " << format_fixed(y_max, 1) << ")\n";
+  for (const auto& line : canvas) os << "  |" << line << "\n";
+  os << "  +" << std::string(width, '-') << "\n";
+  os << "   " << x_label;
+  if (log_x) os << " [log2 " << format_fixed(x_min, 1) << " .. " << format_fixed(x_max, 1) << "]";
+  os << "\n   legend:";
+  for (std::size_t si = 0; si < series.size(); ++si)
+    os << " " << kGlyphs[si % 8] << "=" << series[si].name;
+  os << "\n";
+  return os.str();
+}
+
+std::string render_heatmap(const Grid2D& grid, const std::string& x_label,
+                           const std::string& y_label) {
+  const double top = grid.max_mean();
+  std::ostringstream os;
+  os << y_label << " (rows, top=high) vs " << x_label << " (cols); scale max="
+     << format_fixed(top, 1) << "\n";
+  for (std::size_t iy = grid.y_bins(); iy-- > 0;) {
+    os << "  |";
+    for (std::size_t ix = 0; ix < grid.x_bins(); ++ix) {
+      if (grid.samples(ix, iy) == 0) {
+        os << ' ';
+        continue;
+      }
+      const double f = top > 0.0 ? grid.mean(ix, iy) / top : 0.0;
+      const auto shade = static_cast<std::size_t>(std::clamp(f, 0.0, 1.0) * 9.0);
+      os << kShades[shade];
+    }
+    os << "|\n";
+  }
+  os << "  scale: ' '" << " empty, '.' low .. '@' high\n";
+  return os.str();
+}
+
+}  // namespace opm::util

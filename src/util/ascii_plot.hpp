@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+/// Terminal rendering of the paper's figures.
+///
+/// The bench harnesses are the "plots" of this reproduction: each prints a
+/// CSV block (for downstream plotting) plus an ASCII rendition so the shape
+/// of every figure is visible directly in bench output.
+namespace opm::util {
+
+/// One named series for a line plot.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Renders one or more series as an ASCII line plot.
+///
+/// `log_x` applies a log2 transform to the x axis (footprint sweeps in the
+/// paper are log-scaled). Different series use different glyphs.
+std::string render_line_plot(std::span<const Series> series, std::size_t width,
+                             std::size_t height, bool log_x, const std::string& x_label,
+                             const std::string& y_label);
+
+/// Renders a Grid2D of mean values as an ASCII heat map (darker glyph =
+/// higher value), mirroring the blue-to-red spectrum of the paper's figures.
+std::string render_heatmap(const Grid2D& grid, const std::string& x_label,
+                           const std::string& y_label);
+
+}  // namespace opm::util

@@ -1,0 +1,26 @@
+#include "util/csv.hpp"
+
+namespace opm::util {
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) os_ << ',';
+    os_ << escape(f);
+    first = false;
+  }
+  os_ << '\n';
+}
+
+}  // namespace opm::util

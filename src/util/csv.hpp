@@ -1,0 +1,49 @@
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// Minimal CSV emission for bench harness output.
+///
+/// Every figure-reproduction harness prints its series both as a
+/// human-readable table and as machine-readable CSV; this writer owns the
+/// quoting/format rules so all harnesses agree.
+namespace opm::util {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Emits the header row.
+  void header(std::initializer_list<std::string> names) { row_strings({names.begin(), names.end()}); }
+
+  /// Emits one data row; fields are formatted with operator<< semantics.
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    std::vector<std::string> out;
+    out.reserve(sizeof...(fields));
+    (out.push_back(to_field(fields)), ...);
+    row_strings(out);
+  }
+
+  /// Emits a row from already-formatted strings.
+  void row_strings(const std::vector<std::string>& fields);
+
+ private:
+  template <typename T>
+  static std::string to_field(const T& v) {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  }
+
+  static std::string escape(const std::string& s);
+
+  std::ostream& os_;
+};
+
+}  // namespace opm::util

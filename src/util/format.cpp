@@ -1,0 +1,49 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/units.hpp"
+
+namespace opm::util {
+
+namespace {
+std::string printf_string(const char* fmt, double v) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), fmt, v);
+  return buf.data();
+}
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= GiB && bytes % GiB == 0) return std::to_string(bytes / GiB) + " GB";
+  if (bytes >= MiB && bytes % MiB == 0) return std::to_string(bytes / MiB) + " MB";
+  if (bytes >= KiB && bytes % KiB == 0) return std::to_string(bytes / KiB) + " KB";
+  if (bytes >= GiB) return printf_string("%.2f GB", static_cast<double>(bytes) / static_cast<double>(GiB));
+  if (bytes >= MiB) return printf_string("%.2f MB", static_cast<double>(bytes) / static_cast<double>(MiB));
+  if (bytes >= KiB) return printf_string("%.2f KB", static_cast<double>(bytes) / static_cast<double>(KiB));
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  return printf_string("%.1f GB/s", to_gbps(bytes_per_second));
+}
+
+std::string format_gflops(double flops_per_second) {
+  return printf_string("%.1f GFlop/s", to_gflops(flops_per_second));
+}
+
+std::string format_fixed(double v, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return buf.data();
+}
+
+std::string format_speedup(double ratio) { return format_fixed(ratio, 3) + "x"; }
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace opm::util

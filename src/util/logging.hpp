@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+/// Leveled stderr logging for the library.
+///
+/// Kept intentionally minimal: experiments print their results on stdout;
+/// diagnostics never pollute the data stream.
+namespace opm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default: kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` on stderr when `level` passes the global threshold.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace opm::util

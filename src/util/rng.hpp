@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// Deterministic pseudo-random number generation.
+///
+/// Every experiment in this repository must be reproducible bit-for-bit, so
+/// we provide our own small, well-understood generators instead of relying
+/// on implementation-defined std::default_random_engine behaviour.
+namespace opm::util {
+
+/// SplitMix64: a tiny, high-quality 64-bit generator.
+///
+/// Used both directly and to seed Xoshiro256** state from a single word.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast general-purpose generator with 256-bit state.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions when convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+
+  /// Returns the next 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double normal();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace opm::util

@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opm::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+DensityEstimate kernel_density(std::span<const double> samples, std::size_t grid_points,
+                               double bandwidth) {
+  DensityEstimate out;
+  if (samples.empty() || grid_points == 0) return out;
+
+  RunningStats rs;
+  for (double s : samples) rs.add(s);
+  if (bandwidth <= 0.0) {
+    // Silverman's rule of thumb; fall back to a small constant for
+    // degenerate (zero-variance) inputs so the density is still a spike.
+    const double sigma = rs.stddev();
+    const double n = static_cast<double>(samples.size());
+    bandwidth = sigma > 0.0 ? 1.06 * sigma * std::pow(n, -0.2) : 1e-3;
+  }
+
+  const double pad = 3.0 * bandwidth;
+  const double lo = rs.min() - pad;
+  const double hi = rs.max() + pad;
+  const double step = grid_points > 1 ? (hi - lo) / static_cast<double>(grid_points - 1) : 0.0;
+
+  out.x.resize(grid_points);
+  out.density.resize(grid_points);
+  const double norm =
+      1.0 / (static_cast<double>(samples.size()) * bandwidth * std::sqrt(2.0 * 3.14159265358979323846));
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    double acc = 0.0;
+    for (double s : samples) {
+      const double z = (x - s) / bandwidth;
+      acc += std::exp(-0.5 * z * z);
+    }
+    out.x[i] = x;
+    out.density[i] = acc * norm;
+  }
+  return out;
+}
+
+}  // namespace opm::util

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// Streaming and batch descriptive statistics.
+namespace opm::util {
+
+/// Single-pass accumulator for mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations seen so far.
+  std::size_t count() const { return n_; }
+  /// Arithmetic mean; 0 if empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 if fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest observation; 0 if empty.
+  double min() const { return n_ ? min_ : 0.0; }
+  /// Largest observation; 0 if empty.
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double geometric_mean(std::span<const double> values);
+
+/// p-th percentile (0..100) by linear interpolation on a sorted copy.
+double percentile(std::span<const double> values, double p);
+
+/// Median convenience wrapper.
+inline double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+/// Gaussian kernel density estimate evaluated on a regular grid.
+///
+/// Used for the Figure 1 reproduction (probability density of achievable
+/// GEMM throughput). Bandwidth defaults to Silverman's rule of thumb when
+/// `bandwidth <= 0`.
+struct DensityEstimate {
+  std::vector<double> x;        ///< grid points
+  std::vector<double> density;  ///< estimated density at each grid point
+};
+DensityEstimate kernel_density(std::span<const double> samples, std::size_t grid_points,
+                               double bandwidth = 0.0);
+
+}  // namespace opm::util

@@ -1,0 +1,75 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace opm::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push({std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                              const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (threads_.empty() || n <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(grain, 1);
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  std::atomic<std::size_t> remaining(chunks);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    submit([lo, hi, &body, &remaining, &done_mutex, &done_cv] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&remaining] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace opm::util

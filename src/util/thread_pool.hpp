@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// Minimal OpenMP-style worker pool.
+///
+/// The paper's kernels run with 4-256 threads (Table 2); the parallel
+/// kernel variants in opm::kernels use this pool for their fork-join
+/// loops. With `workers == 0` everything degenerates to inline serial
+/// execution (the mode used by the deterministic tests and by single-core
+/// CI environments).
+namespace opm::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means run every task inline.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Fork-join parallel for over [begin, end): splits the range into
+  /// chunks of at least `grain` iterations, runs `body(i)` for every i,
+  /// and returns when all iterations completed. Exceptions from the body
+  /// terminate (HPC loop bodies must not throw).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void submit(std::function<void()> fn);
+
+  std::vector<std::thread> threads_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace opm::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+/// Byte-size and rate units used throughout the library.
+///
+/// All capacities in the simulator are expressed in bytes (std::uint64_t),
+/// all bandwidths in bytes/second (double), all latencies in seconds
+/// (double), and all throughputs in flop/s (double). These constants keep
+/// platform definitions readable.
+namespace opm::util {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/// Decimal giga, used for GFlop/s and GB/s as the paper reports them.
+inline constexpr double Kilo = 1e3;
+inline constexpr double Mega = 1e6;
+inline constexpr double Giga = 1e9;
+
+/// Converts a raw flop/s figure to GFlop/s for reporting.
+constexpr double to_gflops(double flops_per_second) { return flops_per_second / Giga; }
+
+/// Converts a raw bytes/s figure to decimal GB/s for reporting.
+constexpr double to_gbps(double bytes_per_second) { return bytes_per_second / Giga; }
+
+}  // namespace opm::util

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/blas.hpp"
+#include "dense/matrix.hpp"
+
+namespace opm::dense {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  EXPECT_EQ(m.bytes(), 3u * 4 * 8);
+}
+
+TEST(Matrix, FillRandomDeterministic) {
+  Matrix a(8, 8), b(8, 8);
+  a.fill_random(5);
+  b.fill_random(5);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+  b.fill_random(6);
+  EXPECT_GT(a.max_abs_diff(b), 0.0);
+}
+
+TEST(Matrix, RandomSpdIsSymmetricAndDominant) {
+  const Matrix a = Matrix::random_spd(16, 3);
+  for (std::size_t i = 0; i < 16; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+      if (i != j) off += std::abs(a(i, j));
+    }
+    EXPECT_GT(a(i, i), off);  // strict diagonal dominance
+  }
+}
+
+TEST(Matrix, MaxAbsDiffRejectsShapeMismatch) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a.max_abs_diff(b), std::invalid_argument);
+}
+
+TEST(Blas, GemmBlockMatchesReference) {
+  Matrix a(6, 6), b(6, 6);
+  a.fill_random(1);
+  b.fill_random(2);
+  Matrix c(6, 6);
+  gemm_block(a.data(), 6, b.data(), 6, c.data(), 6, 6, 6, 6);
+  const Matrix ref = matmul_reference(a, b);
+  EXPECT_LT(c.max_abs_diff(ref), 1e-12);
+}
+
+TEST(Blas, GemmBlockAccumulates) {
+  Matrix a(4, 4), b(4, 4);
+  a.fill_random(3);
+  b.fill_random(4);
+  Matrix c(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) c(i, i) = 1.0;
+  gemm_block(a.data(), 4, b.data(), 4, c.data(), 4, 4, 4, 4);
+  Matrix expected = matmul_reference(a, b);
+  for (std::size_t i = 0; i < 4; ++i) expected(i, i) += 1.0;
+  EXPECT_LT(c.max_abs_diff(expected), 1e-12);
+}
+
+TEST(Blas, GemmTnMatchesReference) {
+  Matrix a(5, 3), b(5, 4);  // computes Aᵀ(3x5) * B(5x4)
+  a.fill_random(5);
+  b.fill_random(6);
+  Matrix c(3, 4);
+  gemm_tn_block(a.data(), 3, b.data(), 4, c.data(), 4, 3, 4, 5);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < 5; ++p) acc += a(p, i) * b(p, j);
+      EXPECT_NEAR(c(i, j), acc, 1e-12);
+    }
+}
+
+TEST(Blas, SyrkLowerSubtractsAAt) {
+  Matrix a(4, 3);
+  a.fill_random(7);
+  Matrix c(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) c(i, j) = 10.0;
+  syrk_lower_block(a.data(), 3, c.data(), 4, 4, 3);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < 3; ++p) acc += a(i, p) * a(j, p);
+      EXPECT_NEAR(c(i, j), 10.0 - acc, 1e-12);
+    }
+  EXPECT_DOUBLE_EQ(c(0, 3), 10.0);  // strict upper untouched
+}
+
+TEST(Blas, GemmNtSubMatchesReference) {
+  Matrix a(3, 2), b(4, 2);
+  a.fill_random(8);
+  b.fill_random(9);
+  Matrix c(3, 4);
+  gemm_nt_sub_block(a.data(), 2, b.data(), 2, c.data(), 4, 3, 4, 2);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < 2; ++p) acc += a(i, p) * b(j, p);
+      EXPECT_NEAR(c(i, j), -acc, 1e-12);
+    }
+}
+
+TEST(Blas, PotrfFactorsSpd) {
+  Matrix a = Matrix::random_spd(12, 11);
+  const Matrix original = a;
+  ASSERT_TRUE(potrf_lower_block(a.data(), 12, 12));
+  // Reconstruct L·Lᵀ and compare the lower triangle of the original.
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p <= j; ++p) acc += a(i, p) * a(j, p);
+      EXPECT_NEAR(acc, original(i, j), 1e-9);
+    }
+}
+
+TEST(Blas, PotrfRejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 5.0;
+  a(1, 1) = 1.0;  // indefinite
+  EXPECT_FALSE(potrf_lower_block(a.data(), 2, 2));
+}
+
+TEST(Blas, TrsmRightLtSolves) {
+  // Build a lower-triangular L and check X·Lᵀ = B after the solve.
+  Matrix l(3, 3);
+  l(0, 0) = 2.0;
+  l(1, 0) = 1.0;
+  l(1, 1) = 3.0;
+  l(2, 0) = 0.5;
+  l(2, 1) = -1.0;
+  l(2, 2) = 4.0;
+  Matrix b(2, 3);
+  b.fill_random(13);
+  const Matrix original = b;
+  trsm_right_lt_block(l.data(), 3, b.data(), 3, 2, 3);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      double acc = 0.0;  // (X Lᵀ)(i, j) = sum_p X(i,p) L(j,p)
+      for (std::size_t p = 0; p <= j; ++p) acc += b(i, p) * l(j, p);
+      EXPECT_NEAR(acc, original(i, j), 1e-12);
+    }
+}
+
+TEST(Blas, GemvMatchesManual) {
+  Matrix a(3, 2);
+  a.fill_random(14);
+  const std::vector<double> x = {2.0, -1.0};
+  std::vector<double> y(3);
+  gemv(a, x, y);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(y[i], a(i, 0) * 2.0 - a(i, 1), 1e-12);
+}
+
+TEST(Blas, GemvRejectsBadShapes) {
+  Matrix a(3, 2);
+  std::vector<double> x(3), y(3);
+  EXPECT_THROW(gemv(a, x, y), std::invalid_argument);
+}
+
+TEST(Blas, LeadingDimensionAddressesSubBlocks) {
+  // Multiply 2x2 sub-blocks of a 4x4 matrix using lda = 4.
+  Matrix big(4, 4);
+  big.fill_random(15);
+  Matrix c(2, 2);
+  gemm_block(&big.data()[0], 4, &big.data()[2], 4, c.data(), 2, 2, 2, 2);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < 2; ++p) acc += big(i, p) * big(p, 2 + j);
+      EXPECT_NEAR(c(i, j), acc, 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace opm::dense

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/roofline.hpp"
+#include "kernels/model.hpp"
+#include "kernels/stream.hpp"
+#include "sparse/collection.hpp"
+
+/// Golden-value regression guards.
+///
+/// The figure harnesses are only trustworthy if the calibrated model
+/// constants stay put: a well-meaning refactor that silently shifts a
+/// plateau by 2x would still pass every shape test. These tests pin the
+/// headline numbers of Tables 4/5 and the key plateaus with generous
+/// (±25-40%) tolerances — tight enough to catch drift, loose enough to
+/// survive legitimate re-calibration (update the goldens deliberately
+/// when EXPERIMENTS.md is updated).
+namespace opm {
+namespace {
+
+const sparse::SyntheticCollection& golden_suite() {
+  static const auto suite = sparse::SyntheticCollection::test_suite(400, 4'000'000);
+  return suite;
+}
+
+TEST(Goldens, Table4HeadlineRows) {
+  const auto t4 = core::table4_edram(golden_suite());
+  // kernel order: GEMM, Cholesky, SpMV, SpTRANS, SpTRSV, FFT, Stencil, Stream.
+  const auto& gemm = t4[0].summary;
+  EXPECT_NEAR(gemm.best_base_gflops, 205.0, 205.0 * 0.15);
+  EXPECT_NEAR(gemm.avg_speedup, 1.02, 0.10);
+
+  const auto& spmv = t4[2].summary;
+  EXPECT_NEAR(spmv.best_base_gflops, 11.6, 11.6 * 0.40);
+  EXPECT_GT(spmv.avg_speedup, 1.08);
+  EXPECT_LT(spmv.avg_speedup, 1.9);
+
+  const auto& stream = t4[7].summary;
+  EXPECT_NEAR(stream.best_base_gflops, 68.8, 68.8 * 0.30);
+  EXPECT_GT(stream.max_speedup, 2.0);
+}
+
+TEST(Goldens, Table5HeadlineRows) {
+  const auto t5 = core::table5_mcdram(golden_suite());
+  const auto& gemm = t5[0];
+  EXPECT_NEAR(gemm.flat.best_base_gflops, 2740.0, 2740.0 * 0.15);
+  EXPECT_LT(gemm.flat.avg_speedup, 1.0);   // flat loses on average (paper 0.879)
+  EXPECT_GT(gemm.cache.avg_speedup, 1.0);  // cache wins on average (paper 1.141)
+
+  const auto& stencil = t5[6];
+  EXPECT_NEAR(stencil.flat.best_base_gflops, 830.0, 830.0 * 0.25);
+  EXPECT_NEAR(stencil.flat.avg_speedup, 2.3, 0.6);  // paper 2.764
+
+  const auto& spmv = t5[2];
+  EXPECT_NEAR(spmv.flat.best_opm_gflops, 48.0, 48.0 * 0.30);  // paper 46.5
+}
+
+TEST(Goldens, StreamPlateaus) {
+  // The most physically grounded numbers in the whole model: plateau =
+  // bandwidth / 16 bytes-per-flop.
+  const sim::Platform brd = sim::broadwell(sim::EdramMode::kOff);
+  const double ddr3 =
+      kernels::predict(brd, kernels::stream_model(brd, 4.0e7)).gflops;
+  EXPECT_NEAR(ddr3, 34.1 / 16.0, 0.25);
+
+  const sim::Platform knl_flat = sim::knl(sim::McdramMode::kFlat);
+  const double mcdram =
+      kernels::predict(knl_flat, kernels::stream_model(knl_flat, 4.0e7)).gflops;
+  EXPECT_NEAR(mcdram, 490.0 / 16.0, 490.0 / 16.0 * 0.25);
+}
+
+TEST(Goldens, RooflineRidgePoints) {
+  const auto brd = core::build_roofline(sim::broadwell(sim::EdramMode::kOn));
+  EXPECT_NEAR(brd.ridge_point_opm(), 2.31, 0.05);
+  EXPECT_NEAR(brd.ridge_point_ddr(), 6.94, 0.10);
+  const auto knl = core::build_roofline(sim::knl(sim::McdramMode::kFlat));
+  EXPECT_NEAR(knl.ridge_point_opm(), 6.27, 0.10);
+  EXPECT_NEAR(knl.ridge_point_ddr(), 30.1, 0.5);
+}
+
+TEST(Goldens, EdramNeverHurtsStays) {
+  // The single most load-bearing qualitative claim, pinned numerically:
+  // worst-case eDRAM "speedup" across the canonical stream sweep >= 1.
+  const sim::Platform off = sim::broadwell(sim::EdramMode::kOff);
+  const sim::Platform on = sim::broadwell(sim::EdramMode::kOn);
+  const auto base = core::table_inputs_gflops(off, core::KernelId::kStream, golden_suite());
+  const auto opm = core::table_inputs_gflops(on, core::KernelId::kStream, golden_suite());
+  double worst = 1e9;
+  for (std::size_t i = 0; i < base.size(); ++i) worst = std::min(worst, opm[i] / base[i]);
+  EXPECT_GE(worst, 0.995);
+}
+
+}  // namespace
+}  // namespace opm

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "kernels/cholesky.hpp"
+#include "kernels/gemm.hpp"
+#include "trace/recorder.hpp"
+
+namespace opm::kernels {
+namespace {
+
+/// Tiled GEMM must be exact against the naive reference for any tile size,
+/// including tiles that do not divide n.
+class GemmTileParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemmTileParam, MatchesReference) {
+  const std::size_t n = 48;
+  dense::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  gemm_tiled(a, b, c, GetParam());
+  const dense::Matrix ref = dense::matmul_reference(a, b);
+  EXPECT_LT(c.max_abs_diff(ref), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, GemmTileParam, ::testing::Values(0, 1, 7, 8, 16, 48, 100));
+
+TEST(Gemm, AccumulatesIntoC) {
+  const std::size_t n = 16;
+  dense::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(3);
+  b.fill_random(4);
+  for (std::size_t i = 0; i < n; ++i) c(i, i) = 2.0;
+  gemm_tiled(a, b, c, 8);
+  dense::Matrix expected = dense::matmul_reference(a, b);
+  for (std::size_t i = 0; i < n; ++i) expected(i, i) += 2.0;
+  EXPECT_LT(c.max_abs_diff(expected), 1e-10);
+}
+
+TEST(Gemm, RejectsNonSquare) {
+  dense::Matrix a(4, 5), b(5, 5), c(4, 5);
+  EXPECT_THROW(gemm_tiled(a, b, c, 2), std::invalid_argument);
+}
+
+TEST(Gemm, InstrumentedComputesSameResult) {
+  const std::size_t n = 24;
+  dense::Matrix a(n, n), b(n, n), c1(n, n), c2(n, n);
+  a.fill_random(5);
+  b.fill_random(6);
+  gemm_tiled(a, b, c1, 8);
+  trace::NullRecorder null;
+  gemm_instrumented(a, b, c2, 8, null);
+  EXPECT_EQ(c1.max_abs_diff(c2), 0.0);
+}
+
+TEST(Gemm, InstrumentedEmitsExpectedVolume) {
+  const std::size_t n = 8;
+  dense::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(7);
+  b.fill_random(8);
+  const std::size_t tile = 4;
+  trace::VectorRecorder rec;
+  gemm_instrumented(a, b, c, tile, rec);
+  // Per inner (i,k,j) iteration: load B, load C, store C = 3n³ events;
+  // plus one A load per (i, k) pair per j-tile = n² · (n / tile).
+  EXPECT_EQ(rec.events.size(), 3 * n * n * n + n * n * (n / tile));
+}
+
+class CholeskyTileParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyTileParam, ReconstructsOriginal) {
+  const std::size_t n = 40;
+  const dense::Matrix original = dense::Matrix::random_spd(n, 21);
+  dense::Matrix a = original;
+  ASSERT_TRUE(cholesky_tiled(a, GetParam()));
+  EXPECT_LT(cholesky_residual(original, a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, CholeskyTileParam, ::testing::Values(0, 1, 8, 13, 40, 64));
+
+TEST(Cholesky, MatchesUnblockedReference) {
+  const std::size_t n = 24;
+  dense::Matrix a = dense::Matrix::random_spd(n, 31);
+  dense::Matrix b = a;
+  ASSERT_TRUE(cholesky_tiled(a, 8));
+  ASSERT_TRUE(cholesky_reference(b));
+  // Compare lower triangles only (tiles do not clean the upper part).
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST(Cholesky, DetectsNonSpd) {
+  dense::Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = 1.0;  // rank one: not SPD
+  EXPECT_FALSE(cholesky_tiled(a, 2));
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  dense::Matrix a(3, 4);
+  EXPECT_THROW(cholesky_tiled(a, 2), std::invalid_argument);
+}
+
+class GemmPackedParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemmPackedParam, PackedIsBitIdenticalToTiled) {
+  const std::size_t n = 56;  // not a multiple of most tiles: exercises tails
+  dense::Matrix a(n, n), b(n, n), c1(n, n), c2(n, n);
+  a.fill_random(41);
+  b.fill_random(42);
+  gemm_tiled(a, b, c1, GetParam());
+  gemm_tiled_packed(a, b, c2, GetParam());
+  EXPECT_EQ(c1.max_abs_diff(c2), 0.0);  // same accumulation order exactly
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, GemmPackedParam, ::testing::Values(0, 8, 16, 30, 56, 100));
+
+TEST(GemmPacked, AccumulatesIntoC) {
+  const std::size_t n = 24;
+  dense::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(43);
+  b.fill_random(44);
+  for (std::size_t i = 0; i < n; ++i) c(i, i) = 3.0;
+  gemm_tiled_packed(a, b, c, 8);
+  dense::Matrix expected = dense::matmul_reference(a, b);
+  for (std::size_t i = 0; i < n; ++i) expected(i, i) += 3.0;
+  EXPECT_LT(c.max_abs_diff(expected), 1e-10);
+}
+
+TEST(GemmModel, MoreCacheNeverIncreasesTraffic) {
+  const sim::Platform p = sim::broadwell(sim::EdramMode::kOn);
+  const LocalityModel m = gemm_model(p, 2048, 256);
+  double prev = m.miss_bytes(1 << 12);
+  for (double c = 1 << 13; c <= double(1ull << 34); c *= 2.0) {
+    const double miss = m.miss_bytes(c);
+    EXPECT_LE(miss, prev * 1.0000001) << "capacity " << c;
+    prev = miss;
+  }
+}
+
+TEST(GemmModel, TrafficAtLeastCold) {
+  const sim::Platform p = sim::broadwell(sim::EdramMode::kOn);
+  const LocalityModel m = gemm_model(p, 1024, 128);
+  EXPECT_GE(m.miss_bytes(1e15), 32.0 * 1024 * 1024 * 0.99);  // >= ~32n²
+}
+
+TEST(GemmModel, OversizedTilesDegrade) {
+  // For a fixed cache, the fitting tile beats a far-oversized one.
+  const sim::Platform p = sim::broadwell(sim::EdramMode::kOff);
+  const double c = 6.0 * 1024 * 1024;  // L3
+  const LocalityModel good = gemm_model(p, 8192, 512);   // ~fits
+  const LocalityModel bad = gemm_model(p, 8192, 4096);   // thrashes
+  EXPECT_LT(good.miss_bytes(c), bad.miss_bytes(c));
+}
+
+TEST(CholeskyModel, LighterThanGemm) {
+  const sim::Platform p = sim::broadwell(sim::EdramMode::kOn);
+  const double n = 4096, nb = 256, cap = 6.0 * 1024 * 1024;
+  EXPECT_LT(cholesky_model(p, n, nb).miss_bytes(cap), gemm_model(p, n, nb).miss_bytes(cap));
+  EXPECT_LT(cholesky_model(p, n, nb).flops, gemm_model(p, n, nb).flops);
+}
+
+TEST(DenseModels, EfficiencyGrowsWithProblemSize) {
+  const sim::Platform p = sim::knl(sim::McdramMode::kCache);
+  EXPECT_LT(gemm_model(p, 512, 256).compute_efficiency,
+            gemm_model(p, 16384, 256).compute_efficiency);
+  EXPECT_LT(cholesky_model(p, 512, 256).compute_efficiency,
+            cholesky_model(p, 16384, 256).compute_efficiency);
+}
+
+}  // namespace
+}  // namespace opm::kernels

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "kernels/fft.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/stream.hpp"
+#include "util/rng.hpp"
+
+namespace opm::kernels {
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+double max_cplx_diff(std::span<const cplx> a, std::span<const cplx> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+// ----------------------------------------------------------------- FFT ----
+
+class FftSizeParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeParam, MatchesDirectDft) {
+  const std::size_t n = GetParam();
+  std::vector<cplx> data = random_signal(n, n);
+  const std::vector<cplx> expected = dft_reference(data, false);
+  fft_1d(data, false);
+  EXPECT_LT(max_cplx_diff(data, expected), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftSizeParam, RoundTripsThroughInverse) {
+  const std::size_t n = GetParam();
+  const std::vector<cplx> original = random_signal(n, n + 7);
+  std::vector<cplx> data = original;
+  fft_1d(data, false);
+  fft_1d(data, true);
+  EXPECT_LT(max_cplx_diff(data, original), 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeParam, ::testing::Values(1, 2, 4, 16, 64, 256, 1024));
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cplx> data(12);
+  EXPECT_THROW(fft_1d(data, false), std::invalid_argument);
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<cplx> data = random_signal(512, 3);
+  const double time_energy = energy(data);
+  fft_1d(data, false);
+  // Unnormalized forward transform: freq energy = n * time energy.
+  EXPECT_NEAR(energy(data) / 512.0, time_energy, 1e-9 * time_energy);
+}
+
+TEST(Fft, LinearityHolds) {
+  const auto a = random_signal(128, 5);
+  const auto b = random_signal(128, 6);
+  std::vector<cplx> sum(128);
+  for (std::size_t i = 0; i < 128; ++i) sum[i] = 2.0 * a[i] + b[i];
+  std::vector<cplx> fa = a, fb = b;
+  fft_1d(fa, false);
+  fft_1d(fb, false);
+  fft_1d(sum, false);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 128; ++i)
+    worst = std::max(worst, std::abs(sum[i] - (2.0 * fa[i] + fb[i])));
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<cplx> data(64, cplx(0.0, 0.0));
+  data[0] = cplx(1.0, 0.0);
+  fft_1d(data, false);
+  for (const auto& v : data) EXPECT_NEAR(std::abs(v - cplx(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Fft, ThreeDRoundTrip) {
+  const std::size_t nx = 8, ny = 4, nz = 16;
+  const auto original = random_signal(nx * ny * nz, 9);
+  std::vector<cplx> data = original;
+  fft_3d(data, nx, ny, nz, false);
+  EXPECT_GT(max_cplx_diff(data, original), 1e-6);  // actually transformed
+  fft_3d(data, nx, ny, nz, true);
+  EXPECT_LT(max_cplx_diff(data, original), 1e-9);
+}
+
+TEST(Fft, ThreeDSeparability) {
+  // A 3D FFT of a separable product equals the product of the 1D FFTs.
+  const std::size_t n = 8;
+  auto fx = random_signal(n, 11), fy = random_signal(n, 12), fz = random_signal(n, 13);
+  std::vector<cplx> grid(n * n * n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) grid[(z * n + y) * n + x] = fx[x] * fy[y] * fz[z];
+  fft_3d(grid, n, n, n, false);
+  auto gx = fx, gy = fy, gz = fz;
+  fft_1d(gx, false);
+  fft_1d(gy, false);
+  fft_1d(gz, false);
+  double worst = 0.0;
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x)
+        worst = std::max(worst,
+                         std::abs(grid[(z * n + y) * n + x] - gx[x] * gy[y] * gz[z]));
+  EXPECT_LT(worst, 1e-8);
+}
+
+TEST(Fft, RejectsBad3dShape) {
+  std::vector<cplx> data(10);
+  EXPECT_THROW(fft_3d(data, 2, 2, 2, false), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Stencil ----
+
+TEST(Stencil, CoefficientsSumNearZero) {
+  // A constant field has zero Laplacian: c0 + 6 * sum(c1..c8) ≈ 0.
+  const auto c = iso3dfd_coefficients();
+  double acc = c[0];
+  for (std::size_t i = 1; i < c.size(); ++i) acc += 6.0 * c[i];
+  EXPECT_NEAR(acc, 0.0, 1e-4);
+}
+
+class StencilBlockParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StencilBlockParam, BlockedMatchesReference) {
+  StencilGrid blocked(24, 20, 19);
+  blocked.seed(7);
+  StencilGrid reference = blocked;
+  stencil_step(blocked, GetParam(), GetParam() + 1);
+  stencil_step_reference(reference);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < blocked.cells(); ++i)
+    worst = std::max(worst, std::abs(blocked.previous[i] - reference.previous[i]));
+  EXPECT_EQ(worst, 0.0);  // identical arithmetic, identical results
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, StencilBlockParam, ::testing::Values(1, 2, 3, 5, 8, 100));
+
+TEST(Stencil, ConstantFieldStaysNearConstant) {
+  StencilGrid g(20, 20, 20);
+  std::fill(g.current.begin(), g.current.end(), 1.0);
+  std::fill(g.previous.begin(), g.previous.end(), 1.0);
+  stencil_step(g, 8, 8);
+  const std::size_t c = g.index(10, 10, 10);
+  // u(t+1) = 2·1 - 1 + dt²·(≈0 Laplacian) ≈ 1.
+  EXPECT_NEAR(g.previous[c], 1.0, 1e-5);
+}
+
+TEST(Stencil, HaloCellsUntouched) {
+  StencilGrid g(20, 20, 20);
+  g.seed(21);
+  const double boundary_before = g.previous[g.index(0, 0, 0)];
+  stencil_step(g, 4, 4);
+  EXPECT_EQ(g.previous[g.index(0, 0, 0)], boundary_before);
+}
+
+TEST(Stencil, TooSmallGridIsNoop) {
+  StencilGrid g(8, 8, 8);  // smaller than 2·radius+1
+  g.seed(22);
+  const auto before = g.previous;
+  stencil_step(g, 4, 4);
+  EXPECT_EQ(g.previous, before);
+}
+
+TEST(Stencil, InstrumentedCountsNeighbourLoads) {
+  StencilGrid g(17, 17, 17);  // exactly one interior cell
+  g.seed(23);
+  trace::VectorRecorder rec;
+  stencil_step_instrumented(g, 0, 0, rec);
+  // 1 center + 48 neighbours + 1 previous load + 1 store.
+  EXPECT_EQ(rec.events.size(), 51u);
+}
+
+// -------------------------------------------------------------- Stream ----
+
+TEST(Stream, TriadComputesCorrectly) {
+  std::vector<double> a(100), b(100, 2.0), c(100, 3.0);
+  stream_triad(a, b, c, 0.5);
+  for (double v : a) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(Stream, RejectsMismatchedSizes) {
+  std::vector<double> a(4), b(5), c(4);
+  EXPECT_THROW(stream_triad(a, b, c, 1.0), std::invalid_argument);
+}
+
+TEST(Stream, InstrumentedMatchesPlain) {
+  std::vector<double> a1(64), a2(64), b(64), c(64);
+  util::Xoshiro256 rng(31);
+  for (std::size_t i = 0; i < 64; ++i) {
+    b[i] = rng.uniform();
+    c[i] = rng.uniform();
+  }
+  stream_triad(a1, b, c, 1.5);
+  trace::VectorRecorder rec;
+  stream_triad_instrumented(a2, b, c, 1.5, rec);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(rec.events.size(), 3u * 64);
+}
+
+// ------------------------------------------------------ analytic models ----
+
+TEST(OtherModels, StreamTrafficVanishesWhenFits) {
+  const sim::Platform p = sim::broadwell(sim::EdramMode::kOff);
+  const LocalityModel m = stream_model(p, 1024.0);  // 24 KB footprint
+  EXPECT_LT(m.miss_bytes(6 * 1024 * 1024), m.total_bytes * 0.01);
+  EXPECT_GT(m.miss_bytes(1024), m.total_bytes * 0.9);
+}
+
+TEST(OtherModels, FftPassesGrowWithDataset) {
+  const sim::Platform p = sim::knl(sim::McdramMode::kOff);
+  const LocalityModel small = fft_model(p, 64);
+  const LocalityModel big = fft_model(p, 1024);
+  const double cap = 32.0 * 1024 * 1024;
+  // Per-point traffic from below L2 must grow with the dataset.
+  const double small_pp = small.miss_bytes(cap) / (64.0 * 64 * 64);
+  const double big_pp = big.miss_bytes(cap) / (1024.0 * 1024 * 1024);
+  EXPECT_GT(big_pp, small_pp);
+}
+
+TEST(OtherModels, StencilRefetchDisappearsAboveBlockWs) {
+  const sim::Platform p = sim::broadwell(sim::EdramMode::kOn);
+  const LocalityModel m = stencil_model(p, 512);  // 1 GB footprint
+  const double with_small_cache = m.miss_bytes(1.0 * 1024 * 1024);
+  const double with_big_cache = m.miss_bytes(128.0 * 1024 * 1024);
+  // eDRAM-sized capacity absorbs the neighbour re-fetches but not the
+  // streaming floor.
+  EXPECT_GT(with_small_cache, with_big_cache * 1.5);
+  EXPECT_GT(with_big_cache, 20.0 * 512 * 512 * 512);
+}
+
+}  // namespace
+}  // namespace opm::kernels

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hpp"
+#include "sim/platform.hpp"
+#include "util/units.hpp"
+
+namespace opm::sim {
+namespace {
+
+using util::GiB;
+using util::KiB;
+using util::MiB;
+
+/// A tiny two-level hierarchy for exact-count tests.
+Platform tiny_platform(bool with_victim) {
+  Platform p;
+  p.name = "tiny";
+  p.cores = 1;
+  p.dp_peak_flops = 1e9;
+  p.tiers.push_back({.geometry = {.name = "L1", .capacity = 512, .line_size = 64,
+                                  .associativity = 8},
+                     .kind = TierKind::kStandard,
+                     .bandwidth = 1e9,
+                     .latency = 1e-9});
+  if (with_victim)
+    p.tiers.push_back({.geometry = {.name = "V", .capacity = 1024, .line_size = 64,
+                                    .associativity = 16},
+                       .kind = TierKind::kVictim,
+                       .bandwidth = 5e8,
+                       .latency = 5e-9});
+  p.devices.push_back({.name = "DDR", .capacity = 1 * GiB, .bandwidth = 1e8, .latency = 5e-8});
+  return p;
+}
+
+TEST(MemorySystem, ColdMissGoesToDevice) {
+  MemorySystem ms(tiny_platform(false));
+  ms.load(0, 8);
+  const auto rep = ms.report();
+  EXPECT_EQ(rep.devices[0].hits, 1u);
+  EXPECT_EQ(rep.tiers[0].hits, 0u);
+}
+
+TEST(MemorySystem, SecondAccessHitsL1) {
+  MemorySystem ms(tiny_platform(false));
+  ms.load(0, 8);
+  ms.load(32, 8);  // same line
+  const auto rep = ms.report();
+  EXPECT_EQ(rep.tiers[0].hits, 1u);
+  EXPECT_EQ(rep.devices[0].hits, 1u);
+}
+
+TEST(MemorySystem, MultiLineAccessSplits) {
+  MemorySystem ms(tiny_platform(false));
+  ms.load(0, 256);  // 4 lines
+  const auto rep = ms.report();
+  EXPECT_EQ(rep.total_accesses, 4u);
+  EXPECT_EQ(rep.devices[0].hits, 4u);
+  EXPECT_EQ(rep.total_bytes, 256u);
+}
+
+TEST(MemorySystem, StraddlingAccessTouchesBothLines) {
+  MemorySystem ms(tiny_platform(false));
+  ms.load(60, 8);  // crosses line 0 -> line 64
+  EXPECT_EQ(ms.report().total_accesses, 2u);
+}
+
+TEST(MemorySystem, VictimReceivesL1Evictions) {
+  // L1 is 8 lines (512B, 8-way = 1 set). Touch 9 distinct lines: line 0
+  // is evicted into the victim; re-touching it must hit the victim.
+  MemorySystem ms(tiny_platform(true));
+  for (std::uint64_t i = 0; i < 9; ++i) ms.load(i * 64, 8);
+  auto rep = ms.report();
+  EXPECT_EQ(rep.tiers[1].hits, 0u);
+  ms.load(0, 8);  // promoted from victim
+  rep = ms.report();
+  EXPECT_EQ(rep.tiers[1].hits, 1u);
+  EXPECT_EQ(rep.devices[0].hits, 9u);  // no extra device fetch
+}
+
+TEST(MemorySystem, VictimPromotionInvalidates) {
+  MemorySystem ms(tiny_platform(true));
+  for (std::uint64_t i = 0; i < 9; ++i) ms.load(i * 64, 8);
+  ms.load(0, 8);  // victim hit: promotes, invalidating the victim copy
+  // Line 0 now lives in L1 again. Touch 8 more new lines to evict it;
+  // when it returns to the victim it must hit there, not in DDR.
+  for (std::uint64_t i = 9; i < 17; ++i) ms.load(i * 64, 8);
+  ms.load(0, 8);
+  const auto rep = ms.report();
+  EXPECT_EQ(rep.tiers[1].hits, 2u);
+}
+
+TEST(MemorySystem, DirtyLineWritesBackThroughVictimToDevice) {
+  // Fill the 8-line L1 with dirty lines, then the 16-line victim, and keep
+  // pushing: dirty lines displaced from the victim must land on DDR.
+  MemorySystem ms(tiny_platform(true));
+  for (std::uint64_t i = 0; i < 30; ++i) ms.store(i * 64, 8);
+  const auto rep = ms.report();
+  EXPECT_GT(rep.devices[0].writebacks, 0u);
+}
+
+TEST(MemorySystem, CleanEvictionsNeverWriteBack) {
+  MemorySystem ms(tiny_platform(true));
+  for (std::uint64_t i = 0; i < 64; ++i) ms.load(i * 64, 8);
+  EXPECT_EQ(ms.report().devices[0].writebacks, 0u);
+}
+
+TEST(MemorySystem, ResetRestoresColdState) {
+  MemorySystem ms(tiny_platform(true));
+  for (std::uint64_t i = 0; i < 20; ++i) ms.store(i * 64, 8);
+  ms.reset();
+  const auto rep = ms.report();
+  EXPECT_EQ(rep.total_accesses, 0u);
+  EXPECT_EQ(rep.device_bytes(), 0u);
+  ms.load(0, 8);
+  EXPECT_EQ(ms.report().devices[0].hits, 1u);  // cold again
+}
+
+TEST(MemorySystem, FlatModeRoutesByAddress) {
+  Platform p = tiny_platform(false);
+  p.devices.insert(p.devices.begin(), {.name = "OPM", .capacity = 1 * MiB,
+                                       .bandwidth = 1e9, .latency = 1e-8,
+                                       .on_package = true});
+  p.flat_opm_bytes = 1 * MiB;
+  MemorySystem ms(p);
+  ms.load(0, 8);                 // below the boundary: OPM
+  ms.load(2 * MiB, 8);           // above: DDR
+  const auto rep = ms.report();
+  EXPECT_EQ(rep.bytes_from("OPM"), 64u);
+  EXPECT_EQ(rep.bytes_from("DDR"), 64u);
+}
+
+TEST(MemorySystem, BroadwellEdramCoversBetweenL3AndDdr) {
+  // A working set bigger than L3 (6 MB) but smaller than eDRAM (128 MB):
+  // with eDRAM on, steady-state traffic is served by the L4, not DDR.
+  const std::uint64_t lines = (8 * MiB) / 64;
+  MemorySystem on(broadwell(EdramMode::kOn));
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::uint64_t i = 0; i < lines; ++i) on.load(i * 64, 8);
+  const auto r_on = on.report();
+  // After the cold sweep, the two further sweeps must be eDRAM hits.
+  EXPECT_GT(r_on.bytes_from("eDRAM-L4"), 2u * 8 * MiB / 2);
+  EXPECT_LT(r_on.devices.back().hits, lines * 3 / 2);
+
+  MemorySystem off(broadwell(EdramMode::kOff));
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::uint64_t i = 0; i < lines; ++i) off.load(i * 64, 8);
+  // Without eDRAM every sweep misses L3 (cyclic LRU thrash) -> DDR.
+  EXPECT_GT(off.report().devices.back().hits, 2 * lines);
+}
+
+TEST(MemorySystem, KnlCacheModeAbsorbsDdrTraffic) {
+  // Working set beyond L2 (32 MB) but tiny against MCDRAM: repeated
+  // sweeps must be served by the MCDRAM cache after the cold pass.
+  const std::uint64_t lines = (64 * MiB) / 64;
+  MemorySystem ms(knl(McdramMode::kCache));
+  for (int rep = 0; rep < 2; ++rep)
+    for (std::uint64_t i = 0; i < lines; ++i) ms.load(i * 64, 64);
+  const auto rep = ms.report();
+  EXPECT_EQ(rep.devices.back().hits, lines);           // cold pass only
+  EXPECT_GE(rep.bytes_from("MCDRAM$"), 60u * MiB);     // second pass
+}
+
+TEST(MemorySystem, KnlFlatModeSpillsPast16G) {
+  const Platform p = knl(McdramMode::kFlat);
+  AddressMap map(p);
+  EXPECT_EQ(map.device_for(0), 0u);
+  EXPECT_EQ(map.device_for(17 * GiB), 1u);
+  EXPECT_FALSE(map.straddles(8 * GiB));
+  EXPECT_TRUE(map.straddles(20 * GiB));
+}
+
+TEST(MemorySystem, HybridModeHasCacheTierAndFlatPartition) {
+  const Platform p = knl(McdramMode::kHybrid);
+  ASSERT_EQ(p.tiers.size(), 3u);
+  EXPECT_EQ(p.tiers[2].kind, TierKind::kMemorySide);
+  EXPECT_EQ(p.tiers[2].geometry.capacity, 8 * GiB);
+  EXPECT_EQ(p.flat_opm_bytes, 8 * GiB);
+}
+
+TEST(Platform, Table3Values) {
+  const Platform brd = broadwell(EdramMode::kOn);
+  EXPECT_EQ(brd.cores, 4);
+  EXPECT_NEAR(brd.dp_peak_flops, 236.8e9, 1e6);
+  EXPECT_EQ(brd.tiers.back().geometry.capacity, 128 * MiB);
+  EXPECT_NEAR(brd.tiers.back().bandwidth, 102.4e9, 1e6);
+  EXPECT_NEAR(brd.ddr().bandwidth, 34.1e9, 1e6);
+
+  const Platform k = knl(McdramMode::kCache);
+  EXPECT_EQ(k.cores, 64);
+  EXPECT_EQ(k.tiers[1].geometry.capacity, 32 * MiB);
+  EXPECT_EQ(k.tiers[2].geometry.capacity, 16 * GiB);
+  EXPECT_NEAR(k.ddr().bandwidth, 102e9, 1e6);
+}
+
+TEST(Platform, EdramOffHasNoVictimTier) {
+  const Platform p = broadwell(EdramMode::kOff);
+  for (const auto& t : p.tiers) EXPECT_NE(t.kind, TierKind::kVictim);
+  EXPECT_EQ(p.opm_watts_static, 0.0);  // physically disabled in BIOS
+}
+
+TEST(Platform, McdramStaticPowerAlwaysOn) {
+  // The paper: MCDRAM cannot be physically disabled, so even "w/o
+  // MCDRAM" draws its static power.
+  EXPECT_GT(knl(McdramMode::kOff).opm_watts_static, 0.0);
+}
+
+}  // namespace
+}  // namespace opm::sim

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "kernels/spec.hpp"
+#include "sim/config_io.hpp"
+#include "sparse/mm_io.hpp"
+#include "util/format.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+/// Edge-case and plumbing coverage: file-based I/O paths, logging levels,
+/// spec lookups, unit formatting — the small surfaces the feature tests
+/// route around.
+namespace opm {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& contents) {
+    path = std::string(::testing::TempDir()) + "opm_misc_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".tmp";
+    std::ofstream out(path);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(MmIoFile, ReadsFromDisk) {
+  TempFile f(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 3.5\n"
+      "2 2 -1\n");
+  const sparse::Coo coo = sparse::read_matrix_market_file(f.path);
+  EXPECT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.val[0], 3.5);
+}
+
+TEST(MmIoFile, MissingFileThrows) {
+  EXPECT_THROW(sparse::read_matrix_market_file("/nonexistent/path.mtx"), std::runtime_error);
+}
+
+TEST(MmIoFile, FullWriteReadDiskRoundTrip) {
+  sparse::Coo coo;
+  coo.rows = coo.cols = 3;
+  coo.push(0, 1, 1.25);
+  coo.push(2, 0, -4.0);
+  const sparse::Csr a = sparse::coo_to_csr(coo);
+  std::ostringstream text;
+  sparse::write_matrix_market(text, a);
+  TempFile f(text.str());
+  const sparse::Csr back = sparse::coo_to_csr(sparse::read_matrix_market_file(f.path));
+  EXPECT_TRUE(sparse::approx_equal(a, back, 1e-12));
+}
+
+TEST(PlatformConfigFile, LoadsFromDisk) {
+  TempFile f(sim::to_config(sim::knl(sim::McdramMode::kHybrid)));
+  const sim::Platform p = sim::load_platform_file(f.path);
+  EXPECT_EQ(p.mode_label, "MCDRAM hybrid");
+  EXPECT_EQ(p.flat_opm_bytes, 8ull * util::GiB);
+}
+
+TEST(PlatformConfigFile, MissingFileThrows) {
+  EXPECT_THROW(sim::load_platform_file("/nonexistent/machine.cfg"), std::runtime_error);
+}
+
+TEST(Logging, LevelsFilter) {
+  const util::LogLevel before = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  // Below-threshold messages must be swallowed silently (no way to observe
+  // stderr portably here; this exercises the filter branch).
+  util::log_debug("hidden");
+  util::log_warn("hidden");
+  util::log_error("visible (expected in test output)");
+  util::set_log_level(before);
+  SUCCEED();
+}
+
+TEST(Spec, LookupByNameAndFailure) {
+  EXPECT_EQ(kernels::kernel_spec("GEMM").implementation, "Plasma");
+  EXPECT_EQ(kernels::kernel_spec("Stream").threads_knl, 256);
+  EXPECT_THROW(kernels::kernel_spec("NotAKernel"), std::out_of_range);
+}
+
+TEST(Spec, Figure4IntensityOrdering) {
+  // Stream < SpMV = SpTRSV < SpTRANS < FFT < Stencil < Cholesky < GEMM at
+  // the Figure 5 problem size.
+  const kernels::ProblemSize p = kernels::figure5_problem();
+  auto ai = [&](const char* name) { return kernels::kernel_spec(name).arithmetic_intensity(p); };
+  EXPECT_LT(ai("Stream"), ai("SpMV"));
+  EXPECT_DOUBLE_EQ(ai("SpMV"), ai("SpTRSV"));
+  EXPECT_LT(ai("SpMV"), ai("SpTRANS"));
+  EXPECT_LT(ai("SpTRANS"), ai("FFT"));
+  EXPECT_LT(ai("FFT"), ai("Stencil"));
+  EXPECT_LT(ai("Stencil"), ai("Cholesky"));
+  EXPECT_LT(ai("Cholesky"), ai("GEMM"));
+  EXPECT_DOUBLE_EQ(ai("Stream"), 0.0625);
+  EXPECT_DOUBLE_EQ(ai("Stencil"), 7.625);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(util::to_gflops(2.5e9), 2.5);
+  EXPECT_DOUBLE_EQ(util::to_gbps(34.1e9), 34.1);
+  EXPECT_EQ(util::KiB * 1024, util::MiB);
+  EXPECT_EQ(util::MiB * 1024, util::GiB);
+}
+
+TEST(Format, BandwidthAndGflops) {
+  EXPECT_EQ(util::format_bandwidth(102.4e9), "102.4 GB/s");
+  EXPECT_EQ(util::format_gflops(236.8e9), "236.8 GFlop/s");
+  EXPECT_EQ(util::format_fixed(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(Format, FractionalByteSizes) {
+  EXPECT_EQ(util::format_bytes(1536), "1.50 KB");
+  // 1.5 GiB is an exact MiB multiple, so the exact-unit branch wins.
+  EXPECT_EQ(util::format_bytes(3ull * util::GiB / 2), "1536 MB");
+  EXPECT_EQ(util::format_bytes(util::GiB + 100), "1.00 GB");
+}
+
+}  // namespace
+}  // namespace opm

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/stepping.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/sptrsv.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/stream.hpp"
+#include "util/units.hpp"
+
+/// Shape assertions: every qualitative finding of the paper's evaluation
+/// must hold in the reproduction. These are the tests that make the bench
+/// harness outputs trustworthy — if a model change breaks a paper finding,
+/// it fails here first.
+namespace opm {
+namespace {
+
+using core::KernelId;
+using util::GiB;
+using util::MiB;
+
+const sparse::SyntheticCollection& small_suite() {
+  static const auto suite = sparse::SyntheticCollection::test_suite(400, 4'000'000);
+  return suite;
+}
+
+// ---- Section 4.1 / Table 4: eDRAM on Broadwell ---------------------------
+
+TEST(PaperFindings, EdramNeverHurts) {
+  // "We have not observed worse performance using eDRAM than without."
+  const sim::Platform off = sim::broadwell(sim::EdramMode::kOff);
+  const sim::Platform on = sim::broadwell(sim::EdramMode::kOn);
+  for (KernelId k : {KernelId::kGemm, KernelId::kSpmv, KernelId::kSptrans, KernelId::kSptrsv,
+                     KernelId::kStream, KernelId::kStencil, KernelId::kFft}) {
+    const auto base = core::table_inputs_gflops(off, k, small_suite());
+    const auto opm = core::table_inputs_gflops(on, k, small_suite());
+    for (std::size_t i = 0; i < base.size(); ++i)
+      ASSERT_GE(opm[i], base[i] * 0.995) << core::to_string(k) << " input " << i;
+  }
+}
+
+TEST(PaperFindings, EdramBarelyMovesGemmPeakButLiftsAverage) {
+  // Figure 7 / Table 4: peak +0.8%, but the near-peak region expands.
+  const auto t4 = core::table4_edram(small_suite());
+  const auto& gemm = t4[0].summary;
+  EXPECT_LT(gemm.best_opm_gflops, gemm.best_base_gflops * 1.08);
+  EXPECT_GT(gemm.avg_speedup, 1.0);
+  EXPECT_LT(gemm.avg_speedup, 1.35);
+}
+
+TEST(PaperFindings, EdramHelpsSparseMoreThanDense) {
+  // Table 4: SpMV's average eDRAM speedup (1.296x) clearly exceeds
+  // GEMM's (1.034x) — bandwidth-bound kernels benefit more.
+  const auto t4 = core::table4_edram(small_suite());
+  EXPECT_GT(t4[2].summary.avg_speedup, t4[0].summary.avg_speedup);
+  EXPECT_GE(t4[2].summary.best_opm_gflops, t4[2].summary.best_base_gflops);
+}
+
+TEST(PaperFindings, StreamPeakUnchangedByEdram) {
+  // Table 4: Stream best is identical with and without eDRAM (the peak is
+  // cache-resident; the plateau is DDR-bound with zero reuse).
+  const auto t4 = core::table4_edram(small_suite());
+  const auto& stream = t4[7].summary;
+  EXPECT_NEAR(stream.best_opm_gflops, stream.best_base_gflops,
+              0.02 * stream.best_base_gflops);
+}
+
+TEST(PaperFindings, EdramEffectiveRegionForSpmv) {
+  // Figures 9-11: speedup > 1 falls between the L3 peak and the eDRAM
+  // capacity; far beyond it the curves converge.
+  const sim::Platform off = sim::broadwell(sim::EdramMode::kOff);
+  const sim::Platform on = sim::broadwell(sim::EdramMode::kOn);
+  auto speedup_at = [&](double rows, double nnz) {
+    const kernels::SpmvShape shape{.rows = rows, .nnz = nnz, .locality = 0.5, .row_cv = 0.3};
+    const double base = kernels::predict(off, kernels::spmv_model(off, shape)).gflops;
+    const double opm = kernels::predict(on, kernels::spmv_model(on, shape)).gflops;
+    return opm / base;
+  };
+  // ~60 MB footprint: inside the effective region.
+  EXPECT_GT(speedup_at(4.0e5, 4.3e6), 1.2);
+  // ~2.4 GB footprint: far beyond eDRAM, speedup collapses toward 1.
+  EXPECT_LT(speedup_at(1.6e7, 1.7e8), 1.15);
+}
+
+// ---- Section 4.2 / Table 5: MCDRAM on KNL ---------------------------------
+
+TEST(PaperFindings, FlatModeCollapsesWhenStraddling) {
+  // Section 4.2.1 (II): data split across MCDRAM and DDR is "extremely
+  // poor" — worse than not using MCDRAM at all.
+  const sim::Platform ddr = sim::knl(sim::McdramMode::kOff);
+  const sim::Platform flat = sim::knl(sim::McdramMode::kFlat);
+  const double fp = 24.0 * GiB;  // straddles the 16 GB boundary
+  const auto model_ddr = kernels::stream_model(ddr, fp / 24.0);
+  const auto model_flat = kernels::stream_model(flat, fp / 24.0);
+  EXPECT_LT(kernels::predict(flat, model_flat).gflops,
+            kernels::predict(ddr, model_ddr).gflops);
+}
+
+TEST(PaperFindings, FlatModeWinsWhenDataFits) {
+  const sim::Platform ddr = sim::knl(sim::McdramMode::kOff);
+  const sim::Platform flat = sim::knl(sim::McdramMode::kFlat);
+  const double fp = 4.0 * GiB;
+  EXPECT_GT(kernels::predict(flat, kernels::stream_model(flat, fp / 24.0)).gflops,
+            kernels::predict(ddr, kernels::stream_model(ddr, fp / 24.0)).gflops * 3.0);
+}
+
+TEST(PaperFindings, CacheModeHoldsPastMcdramCapacityWhereFlatDrops) {
+  // Figure 25's large-data observation: beyond 16 GB the flat curve drops
+  // while cache (and hybrid) hold a higher throughput.
+  const sim::Platform flat = sim::knl(sim::McdramMode::kFlat);
+  const sim::Platform cache = sim::knl(sim::McdramMode::kCache);
+  const double fp = 24.0 * GiB;
+  const double g_flat = kernels::predict(flat, kernels::stencil_model(flat, std::cbrt(fp / 16.0))).gflops;
+  const double g_cache =
+      kernels::predict(cache, kernels::stencil_model(cache, std::cbrt(fp / 16.0))).gflops;
+  EXPECT_GT(g_cache, g_flat);
+}
+
+TEST(PaperFindings, HybridBeatsCacheForGemmWithSmallHotSet) {
+  // Section 4.2.1 (III): GEMM's cache-blocked hot set < 8 GB makes hybrid
+  // better than pure cache mode.
+  const sim::Platform cache = sim::knl(sim::McdramMode::kCache);
+  const sim::Platform hybrid = sim::knl(sim::McdramMode::kHybrid);
+  const double n = 16384.0, nb = 1024.0;  // 6.4 GB footprint
+  const double g_cache = kernels::predict(cache, kernels::gemm_model(cache, n, nb)).gflops;
+  const double g_hybrid = kernels::predict(hybrid, kernels::gemm_model(hybrid, n, nb)).gflops;
+  EXPECT_GE(g_hybrid, g_cache * 0.98);
+}
+
+TEST(PaperFindings, SptrsvCanLoseWithMcdram) {
+  // Section 4.2.2: low-MLP (deep dependency) inputs make MCDRAM's higher
+  // latency a net loss against DDR.
+  const sim::Platform ddr = sim::knl(sim::McdramMode::kOff);
+  const sim::Platform flat = sim::knl(sim::McdramMode::kFlat);
+  const kernels::SptrsvShape serial{.rows = 2e6, .nnz = 1.6e7, .locality = 0.9,
+                                    .avg_parallelism = 2.0};
+  const double g_ddr = kernels::predict(ddr, kernels::sptrsv_model(ddr, serial)).gflops;
+  const double g_flat = kernels::predict(flat, kernels::sptrsv_model(flat, serial)).gflops;
+  EXPECT_LT(g_flat, g_ddr * 1.02);
+
+  // ...while wide-level inputs still gain.
+  const kernels::SptrsvShape wide{.rows = 2e6, .nnz = 1.6e7, .locality = 0.3,
+                                  .avg_parallelism = 1e5};
+  const double w_ddr = kernels::predict(ddr, kernels::sptrsv_model(ddr, wide)).gflops;
+  const double w_flat = kernels::predict(flat, kernels::sptrsv_model(flat, wide)).gflops;
+  EXPECT_GT(w_flat, w_ddr);
+}
+
+TEST(PaperFindings, StencilIsTheBiggestMcdramWinner) {
+  // Table 5: Stencil's average speedup (~2.5-2.8x) tops the table along
+  // with Stream; both far exceed GEMM's.
+  const auto t5 = core::table5_mcdram(small_suite());
+  const auto& gemm = t5[0];
+  const auto& stencil = t5[6];
+  const auto& stream = t5[7];
+  EXPECT_GT(stencil.flat.avg_speedup, 1.8);
+  EXPECT_GT(stream.flat.avg_speedup, 1.8);
+  EXPECT_GT(stencil.flat.avg_speedup, gemm.flat.avg_speedup * 1.5);
+}
+
+TEST(PaperFindings, StreamBestIdenticalAcrossModes) {
+  // Table 5: Stream's best GFlop/s is the same for DDR/flat/cache/hybrid
+  // (the peak lives in the on-chip caches).
+  const auto t5 = core::table5_mcdram(small_suite());
+  const auto& stream = t5[7];
+  EXPECT_NEAR(stream.flat.best_opm_gflops, stream.flat.best_base_gflops,
+              0.03 * stream.flat.best_base_gflops);
+  EXPECT_NEAR(stream.cache.best_opm_gflops, stream.flat.best_opm_gflops,
+              0.03 * stream.flat.best_opm_gflops);
+}
+
+TEST(PaperFindings, SptransGainsLittleFromMcdram) {
+  // Section 4.2.2: MergeTrans already blocks for L2, so MCDRAM modes give
+  // only marginal SpTRANS improvements (avg speedups near 1).
+  const auto t5 = core::table5_mcdram(small_suite());
+  const auto& sptrans = t5[1 + 2];  // order: gemm, chol, spmv, sptrans
+  EXPECT_LT(sptrans.flat.avg_speedup, 1.5);
+  EXPECT_GT(sptrans.flat.avg_speedup, 0.7);
+}
+
+TEST(PaperFindings, McdramSpeedupsExceedEdramSpeedups) {
+  // Section 5.1: MCDRAM's average gains (~65%) dwarf eDRAM's (~19%) for
+  // bandwidth-bound kernels.
+  const auto t4 = core::table4_edram(small_suite());
+  const auto t5 = core::table5_mcdram(small_suite());
+  EXPECT_GT(t5[7].flat.avg_speedup, t4[7].summary.avg_speedup);   // Stream
+  EXPECT_GT(t5[6].flat.avg_speedup, t4[6].summary.avg_speedup);   // Stencil
+}
+
+// ---- Section 5.2: power -----------------------------------------------
+
+TEST(PaperFindings, EdramPowerDeltaRoughly8Percent) {
+  const auto off_rows = core::power_rows(sim::broadwell(sim::EdramMode::kOff), small_suite());
+  const auto on_rows = core::power_rows(sim::broadwell(sim::EdramMode::kOn), small_suite());
+  double off_avg = 0.0, on_avg = 0.0;
+  for (std::size_t i = 0; i < off_rows.size(); ++i) {
+    off_avg += off_rows[i].package_watts;
+    on_avg += on_rows[i].package_watts;
+  }
+  const double delta = (on_avg - off_avg) / off_avg;
+  EXPECT_GT(delta, 0.01);
+  EXPECT_LT(delta, 0.20);  // paper: ~8.6% average
+}
+
+TEST(PaperFindings, McdramCanReduceDdrPower) {
+  // Figure 27: using MCDRAM reduces DDR power for kernels whose traffic
+  // it absorbs.
+  const auto ddr_rows = core::power_rows(sim::knl(sim::McdramMode::kOff), small_suite());
+  const auto flat_rows = core::power_rows(sim::knl(sim::McdramMode::kFlat), small_suite());
+  const auto& stencil_ddr = ddr_rows[6];
+  const auto& stencil_flat = flat_rows[6];
+  EXPECT_LT(stencil_flat.dram_watts, stencil_ddr.dram_watts);
+}
+
+}  // namespace
+}  // namespace opm

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "trace/recorder.hpp"
+#include "trace/reuse.hpp"
+#include "util/rng.hpp"
+
+namespace opm::trace {
+namespace {
+
+TEST(Reuse, ColdMissesCounted) {
+  ReuseDistanceAnalyzer a;
+  a.touch(0, 8);
+  a.touch(64, 8);
+  a.touch(128, 8);
+  EXPECT_EQ(a.cold_misses(), 3u);
+  EXPECT_EQ(a.accesses(), 3u);
+  EXPECT_EQ(a.distinct_lines(), 3u);
+}
+
+TEST(Reuse, ImmediateReuseHasDistanceZero) {
+  ReuseDistanceAnalyzer a;
+  a.touch(0, 8);
+  a.touch(8, 8);  // same line
+  ASSERT_EQ(a.histogram().size(), 1u);
+  EXPECT_EQ(a.histogram().begin()->first, 0u);
+}
+
+TEST(Reuse, DistanceCountsDistinctInterveningLines) {
+  ReuseDistanceAnalyzer a;
+  // A B C B A: A's reuse sees {B, C} -> distance 2; B's sees {C} -> 1.
+  a.touch(0, 8);
+  a.touch(64, 8);
+  a.touch(128, 8);
+  a.touch(64, 8);
+  a.touch(0, 8);
+  const auto& h = a.histogram();
+  EXPECT_EQ(h.at(1), 1u);
+  EXPECT_EQ(h.at(2), 1u);
+}
+
+TEST(Reuse, RepeatedLinesDontInflateDistance) {
+  ReuseDistanceAnalyzer a;
+  // A B B B A: only one distinct line between the A's.
+  a.touch(0, 8);
+  for (int i = 0; i < 3; ++i) a.touch(64, 8);
+  a.touch(0, 8);
+  EXPECT_EQ(a.histogram().at(1), 1u);
+}
+
+TEST(Reuse, MissLinesAtCapacity) {
+  ReuseDistanceAnalyzer a;
+  // Cyclic sweep over 4 lines, 3 rounds.
+  for (int r = 0; r < 3; ++r)
+    for (std::uint64_t i = 0; i < 4; ++i) a.touch(i * 64, 8);
+  // Fully associative with >= 4 lines: only 4 cold misses.
+  EXPECT_EQ(a.miss_lines(4), 4u);
+  // With 3 lines: LRU thrashes, everything misses.
+  EXPECT_EQ(a.miss_lines(3), 12u);
+}
+
+TEST(Reuse, MissBytesConsistentWithLines) {
+  ReuseDistanceAnalyzer a;
+  for (std::uint64_t i = 0; i < 10; ++i) a.touch(i * 64, 8);
+  EXPECT_EQ(a.miss_bytes(64 * 100), 10u * 64);
+  EXPECT_NEAR(a.hit_rate(64 * 100), 0.0, 1e-12);  // all cold
+}
+
+TEST(Reuse, MultiLineTouchExpands) {
+  ReuseDistanceAnalyzer a;
+  a.touch(0, 256);  // 4 lines
+  EXPECT_EQ(a.accesses(), 4u);
+  EXPECT_EQ(a.cold_misses(), 4u);
+}
+
+TEST(Reuse, RejectsBadLineSize) {
+  EXPECT_THROW(ReuseDistanceAnalyzer(48), std::invalid_argument);
+  EXPECT_THROW(ReuseDistanceAnalyzer(0), std::invalid_argument);
+}
+
+/// Property: for any random trace, the reuse-distance miss count at
+/// capacity C must exactly equal a fully associative LRU cache of C lines.
+class ReuseVsCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReuseVsCacheProperty, MatchesFullyAssociativeLru) {
+  util::Xoshiro256 rng(GetParam());
+  ReuseDistanceAnalyzer analyzer;
+  std::vector<std::uint64_t> trace;
+  for (int i = 0; i < 3000; ++i) {
+    // Mix of sequential runs and random jumps for realistic structure.
+    if (rng.uniform() < 0.3) {
+      const std::uint64_t base = rng.bounded(128) * 64;
+      for (int k = 0; k < 4; ++k) trace.push_back(base + 64 * k);
+    } else {
+      trace.push_back(rng.bounded(200) * 64);
+    }
+  }
+  for (auto addr : trace) analyzer.touch(addr, 8);
+
+  for (std::uint32_t lines : {4u, 16u, 64u, 128u}) {
+    sim::SetAssociativeCache cache(
+        {.name = "fa", .capacity = static_cast<std::uint64_t>(lines) * 64, .line_size = 64,
+         .associativity = lines});
+    for (auto addr : trace) cache.access(addr, false);
+    EXPECT_EQ(analyzer.miss_lines(lines), cache.stats().misses) << "capacity " << lines;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReuseVsCacheProperty, ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Reuse, MissCurveMonotoneNonIncreasing) {
+  util::Xoshiro256 rng(99);
+  ReuseDistanceAnalyzer a;
+  for (int i = 0; i < 5000; ++i) a.touch(rng.bounded(300) * 64, 8);
+  std::uint64_t prev = a.miss_lines(1);
+  for (std::uint64_t c = 2; c <= 512; c *= 2) {
+    const std::uint64_t misses = a.miss_lines(c);
+    EXPECT_LE(misses, prev);
+    prev = misses;
+  }
+  EXPECT_EQ(a.miss_lines(1u << 20), a.cold_misses());
+}
+
+TEST(Recorders, VectorRecorderStoresEvents) {
+  VectorRecorder rec;
+  rec.load(64, 8);
+  rec.store(128, 4);
+  ASSERT_EQ(rec.events.size(), 2u);
+  EXPECT_FALSE(rec.events[0].is_write);
+  EXPECT_TRUE(rec.events[1].is_write);
+  EXPECT_EQ(rec.events[1].addr, 128u);
+}
+
+TEST(Recorders, TeeForwardsToBoth) {
+  VectorRecorder a, b;
+  TeeRecorder tee(a, b);
+  tee.load(0, 8);
+  tee.store(64, 8);
+  EXPECT_EQ(a.events.size(), 2u);
+  EXPECT_EQ(b.events.size(), 2u);
+}
+
+TEST(Recorders, ReuseAnalyzerSatisfiesRecorder) {
+  static_assert(Recorder<ReuseDistanceAnalyzer>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace opm::trace
