@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cluster_modes"
+  "../bench/ablation_cluster_modes.pdb"
+  "CMakeFiles/ablation_cluster_modes.dir/ablation_cluster_modes.cpp.o"
+  "CMakeFiles/ablation_cluster_modes.dir/ablation_cluster_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

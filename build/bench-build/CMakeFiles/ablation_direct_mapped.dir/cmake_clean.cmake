@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_direct_mapped"
+  "../bench/ablation_direct_mapped.pdb"
+  "CMakeFiles/ablation_direct_mapped.dir/ablation_direct_mapped.cpp.o"
+  "CMakeFiles/ablation_direct_mapped.dir/ablation_direct_mapped.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direct_mapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

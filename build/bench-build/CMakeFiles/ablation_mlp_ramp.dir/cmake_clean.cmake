@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mlp_ramp"
+  "../bench/ablation_mlp_ramp.pdb"
+  "CMakeFiles/ablation_mlp_ramp.dir/ablation_mlp_ramp.cpp.o"
+  "CMakeFiles/ablation_mlp_ramp.dir/ablation_mlp_ramp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mlp_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nt_stores"
+  "../bench/ablation_nt_stores.pdb"
+  "CMakeFiles/ablation_nt_stores.dir/ablation_nt_stores.cpp.o"
+  "CMakeFiles/ablation_nt_stores.dir/ablation_nt_stores.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nt_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

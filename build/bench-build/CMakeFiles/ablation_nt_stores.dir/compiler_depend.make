@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_nt_stores.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prefetcher"
+  "../bench/ablation_prefetcher.pdb"
+  "CMakeFiles/ablation_prefetcher.dir/ablation_prefetcher.cpp.o"
+  "CMakeFiles/ablation_prefetcher.dir/ablation_prefetcher.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

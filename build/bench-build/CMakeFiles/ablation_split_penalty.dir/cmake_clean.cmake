@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_split_penalty"
+  "../bench/ablation_split_penalty.pdb"
+  "CMakeFiles/ablation_split_penalty.dir/ablation_split_penalty.cpp.o"
+  "CMakeFiles/ablation_split_penalty.dir/ablation_split_penalty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_valley_vs_stepping"
+  "../bench/ablation_valley_vs_stepping.pdb"
+  "CMakeFiles/ablation_valley_vs_stepping.dir/ablation_valley_vs_stepping.cpp.o"
+  "CMakeFiles/ablation_valley_vs_stepping.dir/ablation_valley_vs_stepping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_valley_vs_stepping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

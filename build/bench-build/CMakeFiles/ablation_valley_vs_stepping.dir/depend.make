@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_valley_vs_stepping.
+# This may be replaced when dependencies are built.

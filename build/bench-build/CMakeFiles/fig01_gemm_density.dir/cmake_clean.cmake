@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_gemm_density"
+  "../bench/fig01_gemm_density.pdb"
+  "CMakeFiles/fig01_gemm_density.dir/fig01_gemm_density.cpp.o"
+  "CMakeFiles/fig01_gemm_density.dir/fig01_gemm_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_gemm_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_roofline"
+  "../bench/fig05_roofline.pdb"
+  "CMakeFiles/fig05_roofline.dir/fig05_roofline.cpp.o"
+  "CMakeFiles/fig05_roofline.dir/fig05_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

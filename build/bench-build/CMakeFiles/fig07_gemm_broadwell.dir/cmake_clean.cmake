@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_gemm_broadwell"
+  "../bench/fig07_gemm_broadwell.pdb"
+  "CMakeFiles/fig07_gemm_broadwell.dir/fig07_gemm_broadwell.cpp.o"
+  "CMakeFiles/fig07_gemm_broadwell.dir/fig07_gemm_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_gemm_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

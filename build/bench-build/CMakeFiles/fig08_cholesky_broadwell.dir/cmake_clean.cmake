@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_cholesky_broadwell"
+  "../bench/fig08_cholesky_broadwell.pdb"
+  "CMakeFiles/fig08_cholesky_broadwell.dir/fig08_cholesky_broadwell.cpp.o"
+  "CMakeFiles/fig08_cholesky_broadwell.dir/fig08_cholesky_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cholesky_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_spmv_broadwell"
+  "../bench/fig09_spmv_broadwell.pdb"
+  "CMakeFiles/fig09_spmv_broadwell.dir/fig09_spmv_broadwell.cpp.o"
+  "CMakeFiles/fig09_spmv_broadwell.dir/fig09_spmv_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_spmv_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

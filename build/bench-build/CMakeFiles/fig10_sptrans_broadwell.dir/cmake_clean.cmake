@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_sptrans_broadwell"
+  "../bench/fig10_sptrans_broadwell.pdb"
+  "CMakeFiles/fig10_sptrans_broadwell.dir/fig10_sptrans_broadwell.cpp.o"
+  "CMakeFiles/fig10_sptrans_broadwell.dir/fig10_sptrans_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sptrans_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

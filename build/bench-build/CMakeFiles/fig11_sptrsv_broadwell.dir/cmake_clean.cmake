@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_sptrsv_broadwell"
+  "../bench/fig11_sptrsv_broadwell.pdb"
+  "CMakeFiles/fig11_sptrsv_broadwell.dir/fig11_sptrsv_broadwell.cpp.o"
+  "CMakeFiles/fig11_sptrsv_broadwell.dir/fig11_sptrsv_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sptrsv_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

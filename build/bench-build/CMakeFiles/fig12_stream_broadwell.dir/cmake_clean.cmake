@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_stream_broadwell"
+  "../bench/fig12_stream_broadwell.pdb"
+  "CMakeFiles/fig12_stream_broadwell.dir/fig12_stream_broadwell.cpp.o"
+  "CMakeFiles/fig12_stream_broadwell.dir/fig12_stream_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_stream_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

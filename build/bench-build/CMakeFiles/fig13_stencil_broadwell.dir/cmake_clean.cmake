@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_stencil_broadwell"
+  "../bench/fig13_stencil_broadwell.pdb"
+  "CMakeFiles/fig13_stencil_broadwell.dir/fig13_stencil_broadwell.cpp.o"
+  "CMakeFiles/fig13_stencil_broadwell.dir/fig13_stencil_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_stencil_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

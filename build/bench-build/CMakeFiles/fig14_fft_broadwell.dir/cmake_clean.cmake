@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_fft_broadwell"
+  "../bench/fig14_fft_broadwell.pdb"
+  "CMakeFiles/fig14_fft_broadwell.dir/fig14_fft_broadwell.cpp.o"
+  "CMakeFiles/fig14_fft_broadwell.dir/fig14_fft_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fft_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_gemm_knl"
+  "../bench/fig15_gemm_knl.pdb"
+  "CMakeFiles/fig15_gemm_knl.dir/fig15_gemm_knl.cpp.o"
+  "CMakeFiles/fig15_gemm_knl.dir/fig15_gemm_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_gemm_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_cholesky_knl"
+  "../bench/fig16_cholesky_knl.pdb"
+  "CMakeFiles/fig16_cholesky_knl.dir/fig16_cholesky_knl.cpp.o"
+  "CMakeFiles/fig16_cholesky_knl.dir/fig16_cholesky_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cholesky_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_spmv_knl"
+  "../bench/fig17_spmv_knl.pdb"
+  "CMakeFiles/fig17_spmv_knl.dir/fig17_spmv_knl.cpp.o"
+  "CMakeFiles/fig17_spmv_knl.dir/fig17_spmv_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_spmv_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

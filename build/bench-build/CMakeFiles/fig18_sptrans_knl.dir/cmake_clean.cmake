@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_sptrans_knl"
+  "../bench/fig18_sptrans_knl.pdb"
+  "CMakeFiles/fig18_sptrans_knl.dir/fig18_sptrans_knl.cpp.o"
+  "CMakeFiles/fig18_sptrans_knl.dir/fig18_sptrans_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sptrans_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_sptrsv_knl"
+  "../bench/fig19_sptrsv_knl.pdb"
+  "CMakeFiles/fig19_sptrsv_knl.dir/fig19_sptrsv_knl.cpp.o"
+  "CMakeFiles/fig19_sptrsv_knl.dir/fig19_sptrsv_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_sptrsv_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_22_structure_knl"
+  "../bench/fig20_22_structure_knl.pdb"
+  "CMakeFiles/fig20_22_structure_knl.dir/fig20_22_structure_knl.cpp.o"
+  "CMakeFiles/fig20_22_structure_knl.dir/fig20_22_structure_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_22_structure_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

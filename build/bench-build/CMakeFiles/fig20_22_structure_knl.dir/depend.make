@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_22_structure_knl.
+# This may be replaced when dependencies are built.

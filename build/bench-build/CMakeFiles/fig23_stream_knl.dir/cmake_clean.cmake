@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_stream_knl"
+  "../bench/fig23_stream_knl.pdb"
+  "CMakeFiles/fig23_stream_knl.dir/fig23_stream_knl.cpp.o"
+  "CMakeFiles/fig23_stream_knl.dir/fig23_stream_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_stream_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig24_stencil_knl.cpp" "bench-build/CMakeFiles/fig24_stencil_knl.dir/fig24_stencil_knl.cpp.o" "gcc" "bench-build/CMakeFiles/fig24_stencil_knl.dir/fig24_stencil_knl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/opm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/opm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/opm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/opm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/opm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/opm_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

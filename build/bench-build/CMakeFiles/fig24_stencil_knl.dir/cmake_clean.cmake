@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig24_stencil_knl"
+  "../bench/fig24_stencil_knl.pdb"
+  "CMakeFiles/fig24_stencil_knl.dir/fig24_stencil_knl.cpp.o"
+  "CMakeFiles/fig24_stencil_knl.dir/fig24_stencil_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_stencil_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig24_stencil_knl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig25_fft_knl"
+  "../bench/fig25_fft_knl.pdb"
+  "CMakeFiles/fig25_fft_knl.dir/fig25_fft_knl.cpp.o"
+  "CMakeFiles/fig25_fft_knl.dir/fig25_fft_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_fft_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig26_power_broadwell"
+  "../bench/fig26_power_broadwell.pdb"
+  "CMakeFiles/fig26_power_broadwell.dir/fig26_power_broadwell.cpp.o"
+  "CMakeFiles/fig26_power_broadwell.dir/fig26_power_broadwell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_power_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig27_power_knl"
+  "../bench/fig27_power_knl.pdb"
+  "CMakeFiles/fig27_power_knl.dir/fig27_power_knl.cpp.o"
+  "CMakeFiles/fig27_power_knl.dir/fig27_power_knl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_power_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

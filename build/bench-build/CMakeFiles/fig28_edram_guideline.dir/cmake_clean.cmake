@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig28_edram_guideline"
+  "../bench/fig28_edram_guideline.pdb"
+  "CMakeFiles/fig28_edram_guideline.dir/fig28_edram_guideline.cpp.o"
+  "CMakeFiles/fig28_edram_guideline.dir/fig28_edram_guideline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_edram_guideline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

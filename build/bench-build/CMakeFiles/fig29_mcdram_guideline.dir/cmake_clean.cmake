@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig29_mcdram_guideline"
+  "../bench/fig29_mcdram_guideline.pdb"
+  "CMakeFiles/fig29_mcdram_guideline.dir/fig29_mcdram_guideline.cpp.o"
+  "CMakeFiles/fig29_mcdram_guideline.dir/fig29_mcdram_guideline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig29_mcdram_guideline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

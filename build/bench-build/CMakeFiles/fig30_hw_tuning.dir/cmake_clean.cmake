@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig30_hw_tuning"
+  "../bench/fig30_hw_tuning.pdb"
+  "CMakeFiles/fig30_hw_tuning.dir/fig30_hw_tuning.cpp.o"
+  "CMakeFiles/fig30_hw_tuning.dir/fig30_hw_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig30_hw_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

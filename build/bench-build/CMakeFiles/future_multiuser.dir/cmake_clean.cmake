@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/future_multiuser"
+  "../bench/future_multiuser.pdb"
+  "CMakeFiles/future_multiuser.dir/future_multiuser.cpp.o"
+  "CMakeFiles/future_multiuser.dir/future_multiuser.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

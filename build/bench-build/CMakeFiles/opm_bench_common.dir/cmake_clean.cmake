@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_bench_common.dir/common.cpp.o"
+  "CMakeFiles/opm_bench_common.dir/common.cpp.o.d"
+  "libopm_bench_common.a"
+  "libopm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_kernel_specs"
+  "../bench/table2_kernel_specs.pdb"
+  "CMakeFiles/table2_kernel_specs.dir/table2_kernel_specs.cpp.o"
+  "CMakeFiles/table2_kernel_specs.dir/table2_kernel_specs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kernel_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_edram_summary"
+  "../bench/table4_edram_summary.pdb"
+  "CMakeFiles/table4_edram_summary.dir/table4_edram_summary.cpp.o"
+  "CMakeFiles/table4_edram_summary.dir/table4_edram_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_edram_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

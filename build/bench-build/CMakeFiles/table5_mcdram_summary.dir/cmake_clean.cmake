@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_mcdram_summary"
+  "../bench/table5_mcdram_summary.pdb"
+  "CMakeFiles/table5_mcdram_summary.dir/table5_mcdram_summary.cpp.o"
+  "CMakeFiles/table5_mcdram_summary.dir/table5_mcdram_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_mcdram_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

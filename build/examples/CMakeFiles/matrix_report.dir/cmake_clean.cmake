@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_report.dir/matrix_report.cpp.o"
+  "CMakeFiles/matrix_report.dir/matrix_report.cpp.o.d"
+  "matrix_report"
+  "matrix_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

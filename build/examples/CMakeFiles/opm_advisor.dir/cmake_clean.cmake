@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_advisor.dir/opm_advisor.cpp.o"
+  "CMakeFiles/opm_advisor.dir/opm_advisor.cpp.o.d"
+  "opm_advisor"
+  "opm_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

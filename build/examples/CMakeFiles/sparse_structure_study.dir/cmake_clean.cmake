@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_structure_study.dir/sparse_structure_study.cpp.o"
+  "CMakeFiles/sparse_structure_study.dir/sparse_structure_study.cpp.o.d"
+  "sparse_structure_study"
+  "sparse_structure_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_structure_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

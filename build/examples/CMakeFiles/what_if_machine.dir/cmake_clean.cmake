@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_machine.dir/what_if_machine.cpp.o"
+  "CMakeFiles/what_if_machine.dir/what_if_machine.cpp.o.d"
+  "what_if_machine"
+  "what_if_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

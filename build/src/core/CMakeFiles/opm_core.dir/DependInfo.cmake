@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/opm_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/density.cpp" "src/core/CMakeFiles/opm_core.dir/density.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/density.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/opm_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/multitenant.cpp" "src/core/CMakeFiles/opm_core.dir/multitenant.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/multitenant.cpp.o.d"
+  "/root/repo/src/core/roofline.cpp" "src/core/CMakeFiles/opm_core.dir/roofline.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/roofline.cpp.o.d"
+  "/root/repo/src/core/speedup.cpp" "src/core/CMakeFiles/opm_core.dir/speedup.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/speedup.cpp.o.d"
+  "/root/repo/src/core/stepping.cpp" "src/core/CMakeFiles/opm_core.dir/stepping.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/stepping.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/opm_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/validation.cpp.o.d"
+  "/root/repo/src/core/valley.cpp" "src/core/CMakeFiles/opm_core.dir/valley.cpp.o" "gcc" "src/core/CMakeFiles/opm_core.dir/valley.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/opm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/opm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/opm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/opm_dense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_core.dir/advisor.cpp.o"
+  "CMakeFiles/opm_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/opm_core.dir/density.cpp.o"
+  "CMakeFiles/opm_core.dir/density.cpp.o.d"
+  "CMakeFiles/opm_core.dir/experiment.cpp.o"
+  "CMakeFiles/opm_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/opm_core.dir/multitenant.cpp.o"
+  "CMakeFiles/opm_core.dir/multitenant.cpp.o.d"
+  "CMakeFiles/opm_core.dir/roofline.cpp.o"
+  "CMakeFiles/opm_core.dir/roofline.cpp.o.d"
+  "CMakeFiles/opm_core.dir/speedup.cpp.o"
+  "CMakeFiles/opm_core.dir/speedup.cpp.o.d"
+  "CMakeFiles/opm_core.dir/stepping.cpp.o"
+  "CMakeFiles/opm_core.dir/stepping.cpp.o.d"
+  "CMakeFiles/opm_core.dir/validation.cpp.o"
+  "CMakeFiles/opm_core.dir/validation.cpp.o.d"
+  "CMakeFiles/opm_core.dir/valley.cpp.o"
+  "CMakeFiles/opm_core.dir/valley.cpp.o.d"
+  "libopm_core.a"
+  "libopm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

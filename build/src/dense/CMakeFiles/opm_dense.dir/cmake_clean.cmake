@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_dense.dir/blas.cpp.o"
+  "CMakeFiles/opm_dense.dir/blas.cpp.o.d"
+  "CMakeFiles/opm_dense.dir/matrix.cpp.o"
+  "CMakeFiles/opm_dense.dir/matrix.cpp.o.d"
+  "libopm_dense.a"
+  "libopm_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopm_dense.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cholesky.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/cholesky.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/cholesky.cpp.o.d"
+  "/root/repo/src/kernels/csr5.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/csr5.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/csr5.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/fft.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/fft.cpp.o.d"
+  "/root/repo/src/kernels/gemm.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/gemm.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/gemm.cpp.o.d"
+  "/root/repo/src/kernels/model.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/model.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/model.cpp.o.d"
+  "/root/repo/src/kernels/parallel.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/parallel.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/parallel.cpp.o.d"
+  "/root/repo/src/kernels/spec.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/spec.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/spec.cpp.o.d"
+  "/root/repo/src/kernels/spmv.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/spmv.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/spmv.cpp.o.d"
+  "/root/repo/src/kernels/sptrans.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/sptrans.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/sptrans.cpp.o.d"
+  "/root/repo/src/kernels/sptrsv.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/sptrsv.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/sptrsv.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/stencil.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/stencil.cpp.o.d"
+  "/root/repo/src/kernels/stream.cpp" "src/kernels/CMakeFiles/opm_kernels.dir/stream.cpp.o" "gcc" "src/kernels/CMakeFiles/opm_kernels.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/opm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/opm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/opm_dense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

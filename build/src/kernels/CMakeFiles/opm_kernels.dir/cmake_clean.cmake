@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_kernels.dir/cholesky.cpp.o"
+  "CMakeFiles/opm_kernels.dir/cholesky.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/csr5.cpp.o"
+  "CMakeFiles/opm_kernels.dir/csr5.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/fft.cpp.o"
+  "CMakeFiles/opm_kernels.dir/fft.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/gemm.cpp.o"
+  "CMakeFiles/opm_kernels.dir/gemm.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/model.cpp.o"
+  "CMakeFiles/opm_kernels.dir/model.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/parallel.cpp.o"
+  "CMakeFiles/opm_kernels.dir/parallel.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/spec.cpp.o"
+  "CMakeFiles/opm_kernels.dir/spec.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/spmv.cpp.o"
+  "CMakeFiles/opm_kernels.dir/spmv.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/sptrans.cpp.o"
+  "CMakeFiles/opm_kernels.dir/sptrans.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/sptrsv.cpp.o"
+  "CMakeFiles/opm_kernels.dir/sptrsv.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/stencil.cpp.o"
+  "CMakeFiles/opm_kernels.dir/stencil.cpp.o.d"
+  "CMakeFiles/opm_kernels.dir/stream.cpp.o"
+  "CMakeFiles/opm_kernels.dir/stream.cpp.o.d"
+  "libopm_kernels.a"
+  "libopm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

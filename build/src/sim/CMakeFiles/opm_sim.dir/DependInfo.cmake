@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_map.cpp" "src/sim/CMakeFiles/opm_sim.dir/address_map.cpp.o" "gcc" "src/sim/CMakeFiles/opm_sim.dir/address_map.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/opm_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/opm_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/config_io.cpp" "src/sim/CMakeFiles/opm_sim.dir/config_io.cpp.o" "gcc" "src/sim/CMakeFiles/opm_sim.dir/config_io.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/opm_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/opm_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/opm_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/opm_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/opm_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/opm_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/prefetcher.cpp" "src/sim/CMakeFiles/opm_sim.dir/prefetcher.cpp.o" "gcc" "src/sim/CMakeFiles/opm_sim.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/sim/CMakeFiles/opm_sim.dir/timing.cpp.o" "gcc" "src/sim/CMakeFiles/opm_sim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

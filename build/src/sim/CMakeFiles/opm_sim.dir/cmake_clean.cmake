@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_sim.dir/address_map.cpp.o"
+  "CMakeFiles/opm_sim.dir/address_map.cpp.o.d"
+  "CMakeFiles/opm_sim.dir/cache.cpp.o"
+  "CMakeFiles/opm_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/opm_sim.dir/config_io.cpp.o"
+  "CMakeFiles/opm_sim.dir/config_io.cpp.o.d"
+  "CMakeFiles/opm_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/opm_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/opm_sim.dir/platform.cpp.o"
+  "CMakeFiles/opm_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/opm_sim.dir/power.cpp.o"
+  "CMakeFiles/opm_sim.dir/power.cpp.o.d"
+  "CMakeFiles/opm_sim.dir/prefetcher.cpp.o"
+  "CMakeFiles/opm_sim.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/opm_sim.dir/timing.cpp.o"
+  "CMakeFiles/opm_sim.dir/timing.cpp.o.d"
+  "libopm_sim.a"
+  "libopm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/collection.cpp" "src/sparse/CMakeFiles/opm_sparse.dir/collection.cpp.o" "gcc" "src/sparse/CMakeFiles/opm_sparse.dir/collection.cpp.o.d"
+  "/root/repo/src/sparse/formats.cpp" "src/sparse/CMakeFiles/opm_sparse.dir/formats.cpp.o" "gcc" "src/sparse/CMakeFiles/opm_sparse.dir/formats.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/opm_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/opm_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/sparse/CMakeFiles/opm_sparse.dir/mm_io.cpp.o" "gcc" "src/sparse/CMakeFiles/opm_sparse.dir/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/segmented_sort.cpp" "src/sparse/CMakeFiles/opm_sparse.dir/segmented_sort.cpp.o" "gcc" "src/sparse/CMakeFiles/opm_sparse.dir/segmented_sort.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/sparse/CMakeFiles/opm_sparse.dir/stats.cpp.o" "gcc" "src/sparse/CMakeFiles/opm_sparse.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

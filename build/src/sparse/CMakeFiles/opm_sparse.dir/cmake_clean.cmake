@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_sparse.dir/collection.cpp.o"
+  "CMakeFiles/opm_sparse.dir/collection.cpp.o.d"
+  "CMakeFiles/opm_sparse.dir/formats.cpp.o"
+  "CMakeFiles/opm_sparse.dir/formats.cpp.o.d"
+  "CMakeFiles/opm_sparse.dir/generators.cpp.o"
+  "CMakeFiles/opm_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/opm_sparse.dir/mm_io.cpp.o"
+  "CMakeFiles/opm_sparse.dir/mm_io.cpp.o.d"
+  "CMakeFiles/opm_sparse.dir/segmented_sort.cpp.o"
+  "CMakeFiles/opm_sparse.dir/segmented_sort.cpp.o.d"
+  "CMakeFiles/opm_sparse.dir/stats.cpp.o"
+  "CMakeFiles/opm_sparse.dir/stats.cpp.o.d"
+  "libopm_sparse.a"
+  "libopm_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_trace.dir/reuse.cpp.o"
+  "CMakeFiles/opm_trace.dir/reuse.cpp.o.d"
+  "CMakeFiles/opm_trace.dir/sampler.cpp.o"
+  "CMakeFiles/opm_trace.dir/sampler.cpp.o.d"
+  "libopm_trace.a"
+  "libopm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

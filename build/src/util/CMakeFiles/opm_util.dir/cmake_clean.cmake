@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/opm_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/opm_util.dir/cli.cpp.o"
+  "CMakeFiles/opm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/opm_util.dir/csv.cpp.o"
+  "CMakeFiles/opm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/opm_util.dir/format.cpp.o"
+  "CMakeFiles/opm_util.dir/format.cpp.o.d"
+  "CMakeFiles/opm_util.dir/histogram.cpp.o"
+  "CMakeFiles/opm_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/opm_util.dir/logging.cpp.o"
+  "CMakeFiles/opm_util.dir/logging.cpp.o.d"
+  "CMakeFiles/opm_util.dir/rng.cpp.o"
+  "CMakeFiles/opm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/opm_util.dir/stats.cpp.o"
+  "CMakeFiles/opm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/opm_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/opm_util.dir/thread_pool.cpp.o.d"
+  "libopm_util.a"
+  "libopm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_other.dir/test_kernels_other.cpp.o"
+  "CMakeFiles/test_kernels_other.dir/test_kernels_other.cpp.o.d"
+  "test_kernels_other"
+  "test_kernels_other.pdb"
+  "test_kernels_other[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_other.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_findings.dir/test_paper_findings.cpp.o"
+  "CMakeFiles/test_paper_findings.dir/test_paper_findings.cpp.o.d"
+  "test_paper_findings"
+  "test_paper_findings.pdb"
+  "test_paper_findings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

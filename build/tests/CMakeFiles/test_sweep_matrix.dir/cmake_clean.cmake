@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_matrix.dir/test_sweep_matrix.cpp.o"
+  "CMakeFiles/test_sweep_matrix.dir/test_sweep_matrix.cpp.o.d"
+  "test_sweep_matrix"
+  "test_sweep_matrix.pdb"
+  "test_sweep_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_power.dir/test_timing_power.cpp.o"
+  "CMakeFiles/test_timing_power.dir/test_timing_power.cpp.o.d"
+  "test_timing_power"
+  "test_timing_power.pdb"
+  "test_timing_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_system[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_power[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_dense[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_dense[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_other[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_findings[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_and_io[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_goldens[1]_include.cmake")
+include("/root/repo/build/tests/test_misc_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep_matrix[1]_include.cmake")
