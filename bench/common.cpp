@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "core/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
 #include "util/histogram.hpp"
@@ -159,6 +160,14 @@ std::vector<sim::Platform> knl_modes() {
 
 std::vector<sim::Platform> broadwell_modes() {
   return {sim::broadwell(sim::EdramMode::kOff), sim::broadwell(sim::EdramMode::kOn)};
+}
+
+void print_sweep_stats(const std::string& label) {
+  const auto stats = core::drain_sweep_stats();
+  if (stats.empty()) return;
+  std::cout << "\ncsv:" << label << "_sweep_stats\n";
+  core::write_sweep_stats_csv(std::cout, stats);
+  for (const auto& s : stats) std::cout << "json:" << core::sweep_stats_json(s) << "\n";
 }
 
 }  // namespace opm::bench

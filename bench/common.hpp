@@ -62,4 +62,10 @@ std::vector<sim::Platform> knl_modes();
 /// Broadwell with and without eDRAM.
 std::vector<sim::Platform> broadwell_modes();
 
+/// Drains the sweep engine's stats log and prints it as a
+/// `csv:<label>_sweep_stats` block plus one JSON line per sweep, so every
+/// harness's output carries the scheduler telemetry (tasks, steals,
+/// per-worker busy time, wall time) of the sweeps it ran.
+void print_sweep_stats(const std::string& label);
+
 }  // namespace opm::bench

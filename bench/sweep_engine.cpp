@@ -1,0 +1,91 @@
+// Exercises the parallel sweep engine itself: runs the 968-matrix sparse
+// suite and a dense (n, nb) grid serially (workers = 0) and through the
+// work-stealing pool (workers = hardware concurrency), checks the outputs
+// are bit-identical, and reports wall times plus the engine's SweepStats
+// telemetry. This is the harness that makes the repo's sweep hot path
+// measurable from run to run.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common.hpp"
+#include "core/sweep.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `sweep` `reps` times and returns (wall seconds, last result).
+template <typename Sweep>
+std::pair<double, std::vector<opm::core::SweepPoint>> time_sweep(int reps, Sweep&& sweep) {
+  std::vector<opm::core::SweepPoint> out;
+  const double t0 = now_s();
+  for (int r = 0; r < reps; ++r) out = sweep();
+  return {now_s() - t0, std::move(out)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace opm;
+  bench::banner("Sweep engine", "work-stealing parallel sweeps with deterministic reduction");
+
+  const auto& suite = bench::paper_suite();
+  const sim::Platform knl = sim::knl(sim::McdramMode::kFlat);
+  const sim::Platform brd = sim::broadwell(sim::EdramMode::kOn);
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  constexpr int kReps = 20;
+
+  const auto sparse_sweep = [&] { return core::sweep_sparse(knl, core::KernelId::kSpmv, suite); };
+  const auto dense_sweep = [&] {
+    return core::sweep_dense(brd, core::KernelId::kGemm, 256.0, 16128.0, 1024.0, 128.0,
+                             4096.0, 256.0);
+  };
+
+  core::set_sweep_workers(0);
+  core::drain_sweep_stats();
+  const auto [sparse_serial_s, sparse_serial] = time_sweep(kReps, sparse_sweep);
+  const auto [dense_serial_s, dense_serial] = time_sweep(kReps, dense_sweep);
+
+  core::set_sweep_workers(hw);
+  sparse_sweep();  // warm up: first parallel sweep spawns the pool
+  core::drain_sweep_stats();
+  const auto [sparse_par_s, sparse_par] = time_sweep(kReps, sparse_sweep);
+  const auto [dense_par_s, dense_par] = time_sweep(kReps, dense_sweep);
+
+  const bool sparse_identical = sparse_serial == sparse_par;
+  const bool dense_identical = dense_serial == dense_par;
+  const double sparse_speedup = sparse_par_s > 0.0 ? sparse_serial_s / sparse_par_s : 0.0;
+  const double dense_speedup = dense_par_s > 0.0 ? dense_serial_s / dense_par_s : 0.0;
+
+  std::cout << "\nworkers: serial=0 vs parallel=" << hw << " (hardware concurrency), "
+            << kReps << " reps per measurement\n\n";
+  std::cout << util::pad("sweep", 26) << util::pad("points", 8) << util::pad("serial", 11)
+            << util::pad("parallel", 11) << util::pad("speedup", 9) << "bit-identical\n";
+  std::cout << util::pad("sweep_sparse:SpMV (968)", 26) << util::pad(std::to_string(sparse_serial.size()), 8)
+            << util::pad(util::format_fixed(sparse_serial_s * 1e3, 1) + " ms", 11)
+            << util::pad(util::format_fixed(sparse_par_s * 1e3, 1) + " ms", 11)
+            << util::pad(util::format_fixed(sparse_speedup, 2) + "x", 9)
+            << (sparse_identical ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
+  std::cout << util::pad("sweep_dense:GEMM grid", 26) << util::pad(std::to_string(dense_serial.size()), 8)
+            << util::pad(util::format_fixed(dense_serial_s * 1e3, 1) + " ms", 11)
+            << util::pad(util::format_fixed(dense_par_s * 1e3, 1) + " ms", 11)
+            << util::pad(util::format_fixed(dense_speedup, 2) + "x", 9)
+            << (dense_identical ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
+
+  bench::print_sweep_stats("sweep_engine");
+
+  bench::shape_note(
+      std::string("Engine guarantee: parallel output is bit-identical to serial for every "
+                  "sweep (") +
+      (sparse_identical && dense_identical ? "holds" : "VIOLATED") +
+      " on this run); speedup scales with cores — on a single-core container the pool "
+      "adds only scheduling overhead, on >= 4 cores the 968-matrix sweep runs >= 2x "
+      "faster.");
+  return (sparse_identical && dense_identical) ? 0 : 1;
+}

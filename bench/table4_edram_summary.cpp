@@ -37,6 +37,7 @@ int main() {
             << (sim::opm_saves_energy(avg_speedup - 1.0, 0.086) ? "SAVES" : "does NOT save")
             << " energy on average\n";
 
+  bench::print_sweep_stats("table4");
   bench::shape_note(
       "Paper: eDRAM brings avg 3.8 GFlop/s / up to 39.55 GFlop/s, avg 18.6% speedup, up "
       "to 3.54x (Cholesky); dense peaks move <5%, sparse peaks 10-15%, Stream peak 0%. "

@@ -32,6 +32,7 @@ int main() {
               << "\n";
   }
 
+  bench::print_sweep_stats("table5");
   bench::shape_note(
       "Paper: enhancements are NOT always positive (GEMM flat peak < DDR peak due to the "
       ">16 GB spill; SpTRANS hybrid < 1; SpTRSV latency-bound losses); the big winners "

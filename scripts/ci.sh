@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Sanitizer CI for the tier-1 test suite.
+#
+#   ./scripts/ci.sh [thread|address|all]     (default: all)
+#
+# Builds the full test suite with -DOPM_SANITIZE=<mode> into its own build
+# tree (build-tsan / build-asan) and runs ctest. TSan is what guards the
+# work-stealing deques in util::ThreadPool; ASan+UBSan guard everything
+# else. Any sanitizer report fails the ctest invocation (halt_on_error).
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-all}"
+
+run_one() {
+  local sanitizer="$1" dir="$2"
+  echo "== [$sanitizer] configure & build ($dir)"
+  cmake -B "$root/$dir" -G Ninja -S "$root" -DOPM_SANITIZE="$sanitizer" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$root/$dir"
+  echo "== [$sanitizer] ctest"
+  TSAN_OPTIONS="halt_on_error=1 history_size=7" \
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --test-dir "$root/$dir" --output-on-failure -j "$(nproc)"
+}
+
+case "$mode" in
+  thread)  run_one thread build-tsan ;;
+  address) run_one address build-asan ;;
+  all)     run_one thread build-tsan
+           run_one address build-asan ;;
+  *) echo "usage: $0 [thread|address|all]" >&2; exit 2 ;;
+esac
+
+echo "ci: sanitizer suite(s) green"

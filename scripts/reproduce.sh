@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
 # Reproduce every artifact of the paper and collect the outputs.
 #
-#   ./scripts/reproduce.sh [results_dir]
+#   ./scripts/reproduce.sh [--quick] [results_dir]
 #
 # Builds the project, runs the full test suite, then executes every bench
 # harness (one per table/figure plus the ablations) and the examples,
 # writing each output to its own file under results_dir (default:
-# ./results).
+# ./results). Sweep harnesses print the parallel engine's SweepStats
+# telemetry (tasks, steals, busy/wall time) into their outputs.
+#
+# --quick: sanitizer CI only — builds the tier-1 tests under TSan and
+# ASan/UBSan via scripts/ci.sh and skips the artifact sweep.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ "${1:-}" == "--quick" ]]; then
+  exec "$root/scripts/ci.sh" all
+fi
+
 results="${1:-$root/results}"
 mkdir -p "$results"
 

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "core/sweep.hpp"
 #include "kernels/cholesky.hpp"
 #include "kernels/fft.hpp"
 #include "kernels/gemm.hpp"
@@ -86,54 +88,56 @@ kernels::LocalityModel footprint_model(const sim::Platform& platform, KernelId k
 std::vector<SweepPoint> sweep_dense(const sim::Platform& platform, KernelId kernel,
                                     double n_lo, double n_hi, double n_step, double nb_lo,
                                     double nb_hi, double nb_step) {
-  std::vector<SweepPoint> out;
-  for (double n = n_lo; n <= n_hi; n += n_step) {
-    for (double nb = nb_lo; nb <= nb_hi; nb += nb_step) {
-      const kernels::LocalityModel model = kernel == KernelId::kGemm
-                                               ? kernels::gemm_model(platform, n, nb)
-                                               : kernels::cholesky_model(platform, n, nb);
-      const kernels::Prediction pred = kernels::predict(platform, model);
-      out.push_back({.x = n, .y = nb, .gflops = pred.gflops, .footprint = model.footprint});
-    }
-  }
-  return out;
+  // The grid coordinates are accumulated serially (floating-point step
+  // sums must not depend on the worker count); only the model
+  // evaluations fan out.
+  std::vector<std::pair<double, double>> grid;
+  for (double n = n_lo; n <= n_hi; n += n_step)
+    for (double nb = nb_lo; nb <= nb_hi; nb += nb_step) grid.emplace_back(n, nb);
+
+  const std::string name = std::string("sweep_dense:") + to_string(kernel);
+  return sweep_transform(name.c_str(), grid.size(), 4, [&](std::size_t i) {
+    const auto [n, nb] = grid[i];
+    const kernels::LocalityModel model = kernel == KernelId::kGemm
+                                             ? kernels::gemm_model(platform, n, nb)
+                                             : kernels::cholesky_model(platform, n, nb);
+    const kernels::Prediction pred = kernels::predict(platform, model);
+    return SweepPoint{.x = n, .y = nb, .gflops = pred.gflops, .footprint = model.footprint};
+  });
 }
 
 std::vector<SweepPoint> sweep_sparse(const sim::Platform& platform, KernelId kernel,
                                      const sparse::SyntheticCollection& suite,
                                      bool merge_based) {
-  std::vector<SweepPoint> out;
-  out.reserve(suite.size());
-  for (std::size_t i = 0; i < suite.size(); ++i) {
+  const std::string name = std::string("sweep_sparse:") + to_string(kernel);
+  return sweep_transform(name.c_str(), suite.size(), 8, [&](std::size_t i) {
     const auto& d = suite.descriptor(i);
     const kernels::LocalityModel model = sparse_model(platform, kernel, d, merge_based);
     const kernels::Prediction pred = kernels::predict(platform, model);
-    out.push_back({.x = model.footprint,
-                   .y = 0.0,
-                   .gflops = pred.gflops,
-                   .footprint = model.footprint,
-                   .rows = static_cast<double>(d.rows),
-                   .nnz = static_cast<double>(d.nnz),
-                   .input_id = d.id});
-  }
-  return out;
+    return SweepPoint{.x = model.footprint,
+                      .y = 0.0,
+                      .gflops = pred.gflops,
+                      .footprint = model.footprint,
+                      .rows = static_cast<double>(d.rows),
+                      .nnz = static_cast<double>(d.nnz),
+                      .input_id = d.id};
+  });
 }
 
 std::vector<SweepPoint> sweep_footprint_kernel(const sim::Platform& platform, KernelId kernel,
                                                double fp_lo, double fp_hi,
                                                std::size_t points) {
-  std::vector<SweepPoint> out;
-  if (points == 0 || !(fp_hi > fp_lo)) return out;
+  if (points == 0 || !(fp_hi > fp_lo)) return {};
   const double log_lo = std::log2(fp_lo);
   const double log_hi = std::log2(fp_hi);
-  for (std::size_t i = 0; i < points; ++i) {
+  const std::string name = std::string("sweep_footprint:") + to_string(kernel);
+  return sweep_transform(name.c_str(), points, 8, [&](std::size_t i) {
     const double t = points > 1 ? static_cast<double>(i) / static_cast<double>(points - 1) : 0.0;
     const double fp = std::exp2(log_lo + (log_hi - log_lo) * t);
     const kernels::LocalityModel model = footprint_model(platform, kernel, fp);
     const kernels::Prediction pred = kernels::predict(platform, model);
-    out.push_back({.x = fp, .y = 0.0, .gflops = pred.gflops, .footprint = model.footprint});
-  }
-  return out;
+    return SweepPoint{.x = fp, .y = 0.0, .gflops = pred.gflops, .footprint = model.footprint};
+  });
 }
 
 std::vector<double> table_inputs_gflops(const sim::Platform& platform, KernelId kernel,
@@ -184,18 +188,20 @@ constexpr KernelId kAllKernels[] = {KernelId::kGemm,    KernelId::kCholesky,
                                     KernelId::kSpmv,    KernelId::kSptrans,
                                     KernelId::kSptrsv,  KernelId::kFft,
                                     KernelId::kStencil, KernelId::kStream};
+constexpr std::size_t kKernelCount = std::size(kAllKernels);
 }  // namespace
 
 std::vector<KernelSummary> table4_edram(const sparse::SyntheticCollection& suite) {
   const sim::Platform off = sim::broadwell(sim::EdramMode::kOff);
   const sim::Platform on = sim::broadwell(sim::EdramMode::kOn);
-  std::vector<KernelSummary> out;
-  for (KernelId k : kAllKernels) {
+  // Kernels fan out as the top-level sweep; the per-kernel input sweeps
+  // nest inside it on the same pool.
+  return sweep_transform("table4_edram", kKernelCount, 1, [&](std::size_t ki) {
+    const KernelId k = kAllKernels[ki];
     const auto base = table_inputs_gflops(off, k, suite);
     const auto opm = table_inputs_gflops(on, k, suite);
-    out.push_back({k, summarize_speedup(base, opm)});
-  }
-  return out;
+    return KernelSummary{k, summarize_speedup(base, opm)};
+  });
 }
 
 std::vector<ModeSummary> table5_mcdram(const sparse::SyntheticCollection& suite) {
@@ -203,72 +209,75 @@ std::vector<ModeSummary> table5_mcdram(const sparse::SyntheticCollection& suite)
   const sim::Platform flat = sim::knl(sim::McdramMode::kFlat);
   const sim::Platform cache = sim::knl(sim::McdramMode::kCache);
   const sim::Platform hybrid = sim::knl(sim::McdramMode::kHybrid);
-  std::vector<ModeSummary> out;
-  for (KernelId k : kAllKernels) {
+  return sweep_transform("table5_mcdram", kKernelCount, 1, [&](std::size_t ki) {
+    const KernelId k = kAllKernels[ki];
     const auto base = table_inputs_gflops(ddr, k, suite);
     ModeSummary row;
     row.kernel = k;
     row.flat = summarize_speedup(base, table_inputs_gflops(flat, k, suite));
     row.cache = summarize_speedup(base, table_inputs_gflops(cache, k, suite));
     row.hybrid = summarize_speedup(base, table_inputs_gflops(hybrid, k, suite));
-    out.push_back(row);
-  }
-  return out;
+    return row;
+  });
 }
 
 std::vector<PowerRow> power_rows(const sim::Platform& platform,
                                  const sparse::SyntheticCollection& suite) {
-  std::vector<PowerRow> out;
   const bool knl = platform.cores >= 32;
-  for (KernelId k : kAllKernels) {
-    PowerRow row{.kernel = k};
-    std::size_t count = 0;
-    auto accumulate = [&](const kernels::LocalityModel& model) {
-      const kernels::Prediction pred = kernels::predict(platform, model);
-      // Even bandwidth-bound kernels keep the cores and uncore roughly
-      // half busy (stalled pipelines, prefetchers, memory controllers),
-      // so package activity is floored at 0.5 during a run — this is what
-      // keeps the relative OPM power delta near the paper's +8.6%/+6.9%.
-      const double activity = std::max(pred.utilization, 0.5);
-      const sim::PowerEstimate p =
-          sim::estimate_power(platform, activity, pred.ddr_gbps, pred.opm_gbps);
-      row.package_watts += p.package;
-      row.dram_watts += p.dram;
-      ++count;
-    };
+  return sweep_transform("power_rows", kKernelCount, 1, [&](std::size_t ki) {
+    const KernelId k = kAllKernels[ki];
+    // The canonical input list is built serially; the per-input power
+    // estimates fan out (nested) and are then averaged in index order, so
+    // the row is bit-identical to the old serial accumulation.
+    std::vector<kernels::LocalityModel> models;
     switch (k) {
       case KernelId::kGemm:
       case KernelId::kCholesky: {
         const double n_hi = knl ? 32000.0 : 16128.0;
         for (double n = 1024.0; n <= n_hi; n += (n_hi - 1024.0) / 7.0)
-          accumulate(k == KernelId::kGemm ? kernels::gemm_model(platform, n, 512.0)
-                                          : kernels::cholesky_model(platform, n, 512.0));
+          models.push_back(k == KernelId::kGemm ? kernels::gemm_model(platform, n, 512.0)
+                                                : kernels::cholesky_model(platform, n, 512.0));
         break;
       }
       case KernelId::kSpmv:
       case KernelId::kSptrans:
       case KernelId::kSptrsv: {
         for (std::size_t i = 0; i < suite.size(); i += suite.size() / 32 + 1)
-          accumulate(sparse_model(platform, k, suite.descriptor(i), knl));
+          models.push_back(sparse_model(platform, k, suite.descriptor(i), knl));
         break;
       }
       default: {
         const double fp_lo = 4.0 * 1024 * 1024;
         const double fp_hi = static_cast<double>(platform.ddr().capacity) * 0.25;
-        for (const auto& p : sweep_footprint_kernel(platform, k, fp_lo, fp_hi, 16)) {
-          const kernels::LocalityModel model = footprint_model(platform, k, p.x);
-          accumulate(model);
-        }
+        for (const auto& p : sweep_footprint_kernel(platform, k, fp_lo, fp_hi, 16))
+          models.push_back(footprint_model(platform, k, p.x));
         break;
       }
     }
-    if (count > 0) {
-      row.package_watts /= static_cast<double>(count);
-      row.dram_watts /= static_cast<double>(count);
+    const auto estimates =
+        sweep_transform("power_rows:inputs", models.size(), 4, [&](std::size_t i) {
+          const kernels::Prediction pred = kernels::predict(platform, models[i]);
+          // Even bandwidth-bound kernels keep the cores and uncore roughly
+          // half busy (stalled pipelines, prefetchers, memory controllers),
+          // so package activity is floored at 0.5 during a run — this is
+          // what keeps the relative OPM power delta near the paper's
+          // +8.6%/+6.9%.
+          const double activity = std::max(pred.utilization, 0.5);
+          const sim::PowerEstimate p =
+              sim::estimate_power(platform, activity, pred.ddr_gbps, pred.opm_gbps);
+          return std::pair<double, double>{p.package, p.dram};
+        });
+    PowerRow row{.kernel = k};
+    for (const auto& [package, dram] : estimates) {
+      row.package_watts += package;
+      row.dram_watts += dram;
     }
-    out.push_back(row);
-  }
-  return out;
+    if (!estimates.empty()) {
+      row.package_watts /= static_cast<double>(estimates.size());
+      row.dram_watts /= static_cast<double>(estimates.size());
+    }
+    return row;
+  });
 }
 
 }  // namespace opm::core

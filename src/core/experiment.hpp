@@ -17,6 +17,11 @@
 /// sweep footprints. Everything runs through the analytical models and the
 /// timing model — the trace-driven simulator validates those models in the
 /// test suite.
+///
+/// Every sweep here fans out over the process-wide work-stealing pool
+/// (core/sweep.hpp); results are written by index, so output is
+/// bit-identical for any core::set_sweep_workers() setting, including the
+/// serial workers == 0 mode.
 namespace opm::core {
 
 /// Which kernel a sweep is for.
@@ -32,6 +37,10 @@ struct SweepPoint {
   double rows = 0.0;       ///< sparse sweeps: matrix rows
   double nnz = 0.0;        ///< sparse sweeps: nonzeros
   int input_id = -1;       ///< sparse sweeps: suite member id
+
+  /// Exact comparison — the sweeps guarantee bit-identical output for any
+  /// worker count, and the determinism tests hold them to it.
+  bool operator==(const SweepPoint&) const = default;
 };
 
 /// Dense (n, nb) grid sweep for GEMM or Cholesky. Ranges follow appendix
@@ -58,26 +67,32 @@ std::vector<double> table_inputs_gflops(const sim::Platform& platform, KernelId 
 
 /// Table 4: per-kernel summary of eDRAM-on vs eDRAM-off on Broadwell.
 struct KernelSummary {
-  KernelId kernel;
+  KernelId kernel = KernelId::kGemm;
   SpeedupSummary summary;
+
+  bool operator==(const KernelSummary&) const = default;
 };
 std::vector<KernelSummary> table4_edram(const sparse::SyntheticCollection& suite);
 
 /// Table 5: per-kernel, per-mode summaries of MCDRAM modes vs DDR on KNL.
 struct ModeSummary {
-  KernelId kernel;
+  KernelId kernel = KernelId::kGemm;
   SpeedupSummary flat;
   SpeedupSummary cache;
   SpeedupSummary hybrid;
+
+  bool operator==(const ModeSummary&) const = default;
 };
 std::vector<ModeSummary> table5_mcdram(const sparse::SyntheticCollection& suite);
 
 /// Average power/energy per kernel for the Figure 26/27 reproductions:
 /// mean package and DDR power across the kernel's canonical inputs.
 struct PowerRow {
-  KernelId kernel;
+  KernelId kernel = KernelId::kGemm;
   double package_watts = 0.0;
   double dram_watts = 0.0;
+
+  bool operator==(const PowerRow&) const = default;
 };
 std::vector<PowerRow> power_rows(const sim::Platform& platform,
                                  const sparse::SyntheticCollection& suite);

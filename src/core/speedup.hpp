@@ -21,6 +21,9 @@ struct SpeedupSummary {
   double avg_speedup = 0.0;     ///< mean of (opm / base)
   double max_speedup = 0.0;
   std::size_t inputs = 0;
+
+  /// Exact comparison, used by the parallel-vs-serial determinism tests.
+  bool operator==(const SpeedupSummary&) const = default;
 };
 
 /// Summarizes paired samples; the two spans must be equal length and the

@@ -12,6 +12,11 @@
 /// on KNL). Each variant is bit-identical to its serial counterpart for
 /// any worker count (partitioning never reorders floating-point sums
 /// within a row/tile/cell).
+///
+/// The pool is work-stealing and exception-safe: a size-validation error
+/// thrown by a kernel body propagates out of the forking call (it no
+/// longer terminates the process), and these variants may be invoked from
+/// inside another parallel region (nested fork-join is supported).
 namespace opm::kernels {
 
 /// Row-parallel CSR SpMV: rows are independent.

@@ -1,75 +1,231 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
+#include <chrono>
 
 namespace opm::util {
 
+namespace {
+
+/// Identity of the worker thread currently executing, if any. A worker
+/// belongs to exactly one pool for its whole lifetime, so a plain pair of
+/// thread-locals is enough to recognize nested parallel regions.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+
+/// Time this thread has spent inside tasks nested under the task it is
+/// currently running (helping joins re-enter run_one_task). Subtracted
+/// from the enclosing task's elapsed time so busy_ns is *exclusive* —
+/// summing it across workers never double-counts nested parallelism.
+thread_local std::uint64_t tls_nested_ns = 0;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// Join state of one fork-join call. `remaining` counts unfinished chunk
+/// tasks; the first exception (in completion order) is kept and the rest
+/// of the batch is skipped via `failed`.
+struct ThreadPool::Batch {
+  explicit Batch(std::size_t chunks) : remaining(chunks) {}
+
+  std::atomic<std::size_t> remaining;
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_exception;  // guarded by mutex
+  std::mutex mutex;
+  std::condition_variable cv;  // signalled when remaining reaches 0
+};
+
 ThreadPool::ThreadPool(std::size_t workers) {
+  slots_.reserve(workers + 1);
+  for (std::size_t i = 0; i < workers + 1; ++i) slots_.push_back(std::make_unique<Worker>());
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(sleep_mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  sleep_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+bool ThreadPool::on_worker_thread() const { return tls_pool == this; }
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_pool = this;
+  tls_index = index;
   for (;;) {
-    Task task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    task.fn();
+    if (run_one_task(index)) continue;
+    std::unique_lock lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stopping_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_ && pending_.load(std::memory_order_acquire) == 0) return;
   }
 }
 
-void ThreadPool::submit(std::function<void()> fn) {
+void ThreadPool::push_task(std::size_t slot, Task task) {
   {
-    std::lock_guard lock(mutex_);
-    queue_.push({std::move(fn)});
+    std::lock_guard lock(slots_[slot]->mutex);
+    slots_[slot]->deque.push_back(std::move(task));
   }
-  cv_.notify_one();
+  pending_.fetch_add(1, std::memory_order_release);
+  // Lock/unlock pairs the notify with any waiter between its predicate
+  // check and its wait, so the wakeup cannot be lost.
+  { std::lock_guard lock(sleep_mutex_); }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::run_one_task(std::size_t self) {
+  Task task;
+  bool have = false;
+  bool stolen = false;
+
+  // Own deque first, LIFO: the newest chunk is cache-hot and, for nested
+  // parallel loops, depth-first.
+  {
+    Worker& me = *slots_[self];
+    std::lock_guard lock(me.mutex);
+    if (!me.deque.empty()) {
+      task = std::move(me.deque.back());
+      me.deque.pop_back();
+      have = true;
+    }
+  }
+  // Steal FIFO from the other slots: the oldest chunk is the one its
+  // owner would get to last.
+  if (!have) {
+    for (std::size_t k = 1; k < slots_.size() && !have; ++k) {
+      Worker& victim = *slots_[(self + k) % slots_.size()];
+      std::lock_guard lock(victim.mutex);
+      if (!victim.deque.empty()) {
+        task = std::move(victim.deque.front());
+        victim.deque.pop_front();
+        have = true;
+        stolen = true;
+      }
+    }
+  }
+  if (!have) return false;
+
+  pending_.fetch_sub(1, std::memory_order_release);
+  const std::uint64_t saved_nested = tls_nested_ns;
+  tls_nested_ns = 0;
+  const std::uint64_t t0 = now_ns();
+  task.fn();
+  const std::uint64_t elapsed = now_ns() - t0;
+  const std::uint64_t inner = tls_nested_ns;
+  tls_nested_ns = saved_nested + elapsed;
+  Worker& me = *slots_[self];
+  me.busy_ns.fetch_add(elapsed > inner ? elapsed - inner : 0, std::memory_order_relaxed);
+  me.tasks.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) me.steals.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::help_until_done(Batch& batch) {
+  using namespace std::chrono_literals;
+  const std::size_t self = on_worker_thread() ? tls_index : slots_.size() - 1;
+  while (batch.remaining.load(std::memory_order_acquire) != 0) {
+    if (run_one_task(self)) continue;
+    // Nothing runnable anywhere: the batch's last tasks are in flight on
+    // other threads. Sleep until the batch signals (or briefly, in case
+    // new stealable work appears via nesting).
+    std::unique_lock lock(batch.mutex);
+    batch.cv.wait_for(lock, 100us, [&batch] {
+      return batch.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                               const std::function<void(std::size_t)>& body) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
-  if (threads_.empty() || n <= grain) {
+  const std::size_t chunk = std::max<std::size_t>(grain, 1);
+  if (threads_.empty() || n <= chunk) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
 
-  const std::size_t chunk = std::max<std::size_t>(grain, 1);
   const std::size_t chunks = (n + chunk - 1) / chunk;
-  std::atomic<std::size_t> remaining(chunks);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Batch batch(chunks);
+  const bool from_worker = on_worker_thread();
 
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    submit([lo, hi, &body, &remaining, &done_mutex, &done_cv] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_one();
+    Task task{[this, &batch, &body, lo, hi] {
+      if (!batch.failed.load(std::memory_order_relaxed)) {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        } catch (...) {
+          std::lock_guard lock(batch.mutex);
+          if (!batch.first_exception) batch.first_exception = std::current_exception();
+          batch.failed.store(true, std::memory_order_relaxed);
+        }
       }
-    });
+      // Decrement under the batch mutex: the joiner's final lock in
+      // parallel_for then cannot be acquired until this thread is fully
+      // done touching the batch, so the Batch (mutex + cv) is never
+      // destroyed while a finisher is still inside notify_all.
+      {
+        std::lock_guard lock(batch.mutex);
+        if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          batch.cv.notify_all();
+      }
+    }};
+    // A worker forks onto its own deque (it pops the work back LIFO while
+    // idle workers steal the far end); external threads scatter chunks
+    // round-robin across the workers.
+    const std::size_t slot =
+        from_worker ? tls_index
+                    : next_slot_.fetch_add(1, std::memory_order_relaxed) % threads_.size();
+    push_task(slot, std::move(task));
   }
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&remaining] { return remaining.load(std::memory_order_acquire) == 0; });
+  help_until_done(batch);
+  std::exception_ptr err;
+  {
+    // Pairs with the locked final decrement in the task epilogue: once
+    // this lock is held, no task can still be inside the batch's
+    // mutex/cv, so it is safe to read the exception and destroy Batch.
+    std::lock_guard lock(batch.mutex);
+    err = batch.first_exception;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+std::vector<ThreadPool::WorkerCounters> ThreadPool::worker_counters() const {
+  std::vector<WorkerCounters> out;
+  out.reserve(slots_.size());
+  for (const auto& w : slots_) {
+    WorkerCounters c;
+    c.tasks = w->tasks.load(std::memory_order_relaxed);
+    c.steals = w->steals.load(std::memory_order_relaxed);
+    c.busy_seconds = static_cast<double>(w->busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    out.push_back(c);
+  }
+  return out;
+}
+
+ThreadPool::WorkerCounters ThreadPool::totals() const {
+  WorkerCounters sum;
+  for (const auto& c : worker_counters()) {
+    sum.tasks += c.tasks;
+    sum.steals += c.steals;
+    sum.busy_seconds += c.busy_seconds;
+  }
+  return sum;
 }
 
 }  // namespace opm::util

@@ -1,24 +1,51 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
-/// Minimal OpenMP-style worker pool.
+/// Work-stealing worker pool.
 ///
 /// The paper's kernels run with 4-256 threads (Table 2); the parallel
-/// kernel variants in opm::kernels use this pool for their fork-join
-/// loops. With `workers == 0` everything degenerates to inline serial
-/// execution (the mode used by the deterministic tests and by single-core
-/// CI environments).
+/// kernel variants in opm::kernels and the core sweep engine
+/// (core/sweep.hpp) use this pool for their fork-join loops. With
+/// `workers == 0` everything degenerates to inline serial execution (the
+/// mode used by the deterministic tests and by single-core CI
+/// environments).
+///
+/// Scheduling: every worker owns a deque; it pops its own work LIFO
+/// (cache-hot, nested loops run depth-first) and steals FIFO from a
+/// victim when its deque runs dry. Threads that call `parallel_for` /
+/// `parallel_transform` — workers and external submitters alike — help
+/// execute outstanding tasks while they wait, so nested parallel loops
+/// cannot deadlock the pool.
+///
+/// Exceptions thrown by a loop body are captured; the first one (in
+/// completion order) is rethrown from the forking call once the batch has
+/// drained, and the remaining chunks of that batch are skipped. Results
+/// of `parallel_transform` are written by index, so output ordering is
+/// bit-identical for any worker count.
 namespace opm::util {
 
 class ThreadPool {
  public:
+  /// Cumulative per-worker scheduler counters (monotonic over the pool's
+  /// lifetime; sample before/after a region to attribute work to it).
+  struct WorkerCounters {
+    std::uint64_t tasks = 0;    ///< chunk tasks executed by this worker
+    std::uint64_t steals = 0;   ///< tasks taken from another worker's deque
+    double busy_seconds = 0.0;  ///< wall time spent inside task bodies
+  };
+
   /// Spawns `workers` threads; 0 means run every task inline.
   explicit ThreadPool(std::size_t workers);
   ~ThreadPool();
@@ -30,23 +57,71 @@ class ThreadPool {
 
   /// Fork-join parallel for over [begin, end): splits the range into
   /// chunks of at least `grain` iterations, runs `body(i)` for every i,
-  /// and returns when all iterations completed. Exceptions from the body
-  /// terminate (HPC loop bodies must not throw).
+  /// and returns when all iterations completed (or the batch was cut
+  /// short by a throwing body, in which case the first captured exception
+  /// is rethrown here).
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t)>& body);
+
+  /// Fork-join map over [begin, end): returns {fn(begin), ..., fn(end-1)}.
+  /// Each result is written to its own slot, so the output is bit-identical
+  /// to the serial loop for any worker count (fn must not touch shared
+  /// mutable state). The result type must be default-constructible.
+  template <typename Fn>
+  auto parallel_transform(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+    using T = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<T> out(end > begin ? end - begin : 0);
+    parallel_for(begin, end, grain, [&](std::size_t i) { out[i - begin] = fn(i); });
+    return out;
+  }
+
+  /// Snapshot of every worker's counters (index = worker id). The last
+  /// entry aggregates work executed by helping non-worker threads.
+  std::vector<WorkerCounters> worker_counters() const;
+
+  /// Sum of worker_counters().
+  WorkerCounters totals() const;
+
+  /// True when the calling thread is one of this pool's workers (used to
+  /// detect nested parallel regions).
+  bool on_worker_thread() const;
 
  private:
   struct Task {
     std::function<void()> fn;
   };
 
-  void worker_loop();
-  void submit(std::function<void()> fn);
+  /// One worker's deque plus its counters, padded to a cache line so the
+  /// hot-path counter updates never false-share.
+  struct alignas(64) Worker {
+    mutable std::mutex mutex;
+    std::deque<Task> deque;
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
+  struct Batch;
+
+  void worker_loop(std::size_t index);
+  void push_task(std::size_t slot, Task task);
+  /// Pops or steals one task and runs it; `self` is the calling worker's
+  /// index, or workers() for helping external threads. Returns false when
+  /// no task was available anywhere.
+  bool run_one_task(std::size_t self);
+  void help_until_done(Batch& batch);
 
   std::vector<std::thread> threads_;
-  std::queue<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  /// workers() + 1 slots: one per worker plus a shared slot that both
+  /// receives external submissions and accumulates external helpers'
+  /// counters.
+  std::vector<std::unique_ptr<Worker>> slots_;
+  std::atomic<std::size_t> next_slot_{0};  ///< round-robin external placement
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> pending_{0};  ///< tasks sitting in deques
   bool stopping_ = false;
 };
 

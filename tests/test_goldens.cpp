@@ -2,6 +2,7 @@
 
 #include "core/experiment.hpp"
 #include "core/roofline.hpp"
+#include "core/sweep.hpp"
 #include "kernels/model.hpp"
 #include "kernels/stream.hpp"
 #include "sparse/collection.hpp"
@@ -53,6 +54,39 @@ TEST(Goldens, Table5HeadlineRows) {
 
   const auto& spmv = t5[2];
   EXPECT_NEAR(spmv.flat.best_opm_gflops, 48.0, 48.0 * 0.30);  // paper 46.5
+}
+
+TEST(Goldens, Table4And5HeadlinesSurviveParallelScheduler) {
+  // The same headline rows as above, but explicitly through the parallel
+  // sweep engine — a future scheduler change that perturbed reduction
+  // order or index mapping would shift these numbers even if the shape
+  // tests still passed. Bit-identity with the serial path is asserted so
+  // the goldens above and this test can never drift apart.
+  const std::size_t saved = core::sweep_workers();
+  core::set_sweep_workers(4);
+  const auto t4 = core::table4_edram(golden_suite());
+  const auto t5 = core::table5_mcdram(golden_suite());
+  core::set_sweep_workers(0);
+  const auto t4_serial = core::table4_edram(golden_suite());
+  const auto t5_serial = core::table5_mcdram(golden_suite());
+  core::set_sweep_workers(saved);
+
+  EXPECT_TRUE(t4 == t4_serial);
+  EXPECT_TRUE(t5 == t5_serial);
+
+  const auto& gemm4 = t4[0].summary;
+  EXPECT_NEAR(gemm4.best_base_gflops, 205.0, 205.0 * 0.15);
+  EXPECT_NEAR(gemm4.avg_speedup, 1.02, 0.10);
+  const auto& spmv4 = t4[2].summary;
+  EXPECT_GT(spmv4.avg_speedup, 1.08);
+  EXPECT_LT(spmv4.avg_speedup, 1.9);
+
+  const auto& gemm5 = t5[0];
+  EXPECT_NEAR(gemm5.flat.best_base_gflops, 2740.0, 2740.0 * 0.15);
+  EXPECT_LT(gemm5.flat.avg_speedup, 1.0);
+  EXPECT_GT(gemm5.cache.avg_speedup, 1.0);
+  const auto& stencil5 = t5[6];
+  EXPECT_NEAR(stencil5.flat.avg_speedup, 2.3, 0.6);
 }
 
 TEST(Goldens, StreamPlateaus) {
