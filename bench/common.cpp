@@ -4,12 +4,34 @@
 #include <cmath>
 #include <iostream>
 
+#include "core/result_cache.hpp"
 #include "core/sweep.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
 #include "util/histogram.hpp"
 
 namespace opm::bench {
+
+core::SweepConfig init(int argc, const char* const* argv) {
+  core::SweepConfig cfg = core::apply_env(core::default_sweep_config());
+  const util::Cli cli(argc, argv);
+  if (cli.has("sweep-workers")) {
+    const std::int64_t n = cli.get_int("sweep-workers", -1);
+    if (n >= 0) cfg.workers = static_cast<std::size_t>(n);
+  }
+  if (cli.has("cache-dir")) {
+    const std::string dir = cli.get("cache-dir", cfg.cache.dir);
+    if (!dir.empty()) {
+      cfg.cache.dir = dir;
+      cfg.cache.enabled = true;
+    }
+  }
+  if (cli.has("no-cache")) cfg.cache.enabled = false;
+  if (cli.has("no-sweep-stats")) cfg.telemetry = false;
+  core::apply_sweep_config(cfg);
+  return cfg;
+}
 
 void banner(const std::string& artifact, const std::string& title) {
   std::cout << "\n================================================================\n"
@@ -144,7 +166,8 @@ std::vector<util::Series> footprint_series(const std::vector<sim::Platform>& pla
   std::vector<util::Series> out;
   for (const auto& p : platforms) {
     util::Series s{p.mode_label, {}, {}};
-    for (const auto& pt : core::sweep_footprint_kernel(p, kernel, fp_lo, fp_hi, points)) {
+    for (const auto& pt : core::sweep_footprint_kernel(
+             p, {.kernel = kernel, .fp_lo = fp_lo, .fp_hi = fp_hi, .points = points})) {
       s.x.push_back(pt.x / (1024.0 * 1024.0));
       s.y.push_back(pt.gflops);
     }
@@ -164,10 +187,20 @@ std::vector<sim::Platform> broadwell_modes() {
 
 void print_sweep_stats(const std::string& label) {
   const auto stats = core::drain_sweep_stats();
+  if (!core::sweep_telemetry()) return;  // drained either way, printed only when on
   if (stats.empty()) return;
   std::cout << "\ncsv:" << label << "_sweep_stats\n";
   core::write_sweep_stats_csv(std::cout, stats);
   for (const auto& s : stats) std::cout << "json:" << core::sweep_stats_json(s) << "\n";
+  if (core::ResultCache::instance().enabled()) {
+    const core::CacheStats c = core::result_cache_stats();
+    std::cout << "json:{\"cache_totals\":{\"memory_hits\":" << c.memory_hits
+              << ",\"disk_hits\":" << c.disk_hits << ",\"misses\":" << c.misses
+              << ",\"stores\":" << c.stores << ",\"bytes_loaded\":" << c.bytes_loaded
+              << ",\"bytes_stored\":" << c.bytes_stored << ",\"faults\":" << c.faults()
+              << ",\"lookup_s\":" << c.lookup_seconds << ",\"store_s\":" << c.store_seconds
+              << "}}\n";
+  }
 }
 
 }  // namespace opm::bench

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep_config.hpp"
 #include "sim/platform.hpp"
 #include "sparse/collection.hpp"
 #include "util/ascii_plot.hpp"
@@ -15,6 +16,17 @@
 /// shape, and a "paper vs reproduced" note block.
 namespace opm::bench {
 
+/// Resolves and applies the process-wide sweep configuration: bench
+/// defaults (hardware workers, telemetry on, cache enabled under
+/// ".opm-cache"), overlaid by environment, overlaid by CLI. Call it first
+/// thing in main(); returns the resolved config for harness-local use.
+///
+///   --sweep-workers=N    worker count      (env OPM_SWEEP_WORKERS)
+///   --cache-dir=PATH     disk-cache dir    (env OPM_CACHE_DIR)
+///   --no-cache           disable the cache (env OPM_NO_CACHE=1)
+///   --no-sweep-stats     mute telemetry    (env OPM_SWEEP_STATS=0)
+core::SweepConfig init(int argc, const char* const* argv);
+
 /// Prints the standard banner for one paper artifact.
 void banner(const std::string& artifact, const std::string& title);
 
@@ -22,7 +34,8 @@ void banner(const std::string& artifact, const std::string& title);
 /// harness produced (free text; each harness states its own checks).
 void shape_note(const std::string& note);
 
-/// The 968-matrix suite, constructed once per process.
+/// The 968-matrix suite, constructed once per process (thread-safe magic
+/// static — sweep workers may race on first use).
 const sparse::SyntheticCollection& paper_suite();
 
 /// Renders a dense (n, nb) sweep as the Figure 7/8/15/16 heat map:
@@ -65,7 +78,10 @@ std::vector<sim::Platform> broadwell_modes();
 /// Drains the sweep engine's stats log and prints it as a
 /// `csv:<label>_sweep_stats` block plus one JSON line per sweep, so every
 /// harness's output carries the scheduler telemetry (tasks, steals,
-/// per-worker busy time, wall time) of the sweeps it ran.
+/// per-worker busy time, wall time) and the result-cache counters (hits,
+/// misses, bytes moved, lookup latency) of the sweeps it ran. Muted — but
+/// still drained — when core::sweep_telemetry() is off, which is how the
+/// CI cold/warm byte-diff keeps outputs deterministic.
 void print_sweep_stats(const std::string& label);
 
 }  // namespace opm::bench

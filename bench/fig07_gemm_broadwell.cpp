@@ -5,13 +5,15 @@
 #include "common.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 7", "GEMM on Broadwell: (order, tile) heat maps, w/o vs w/ eDRAM");
 
   const auto sweep = [](const sim::Platform& p) {
-    // Appendix A.2.1: n in {256..16128 step 512}, nb in {128..4096 step 128}.
-    return core::sweep_dense(p, core::KernelId::kGemm, 256, 16128, 512, 128, 4096, 128);
+    // Appendix A.2.1: n in {256..16128 step 512}, nb in {128..4096 step 128}
+    // — the DenseSweepRequest defaults.
+    return core::sweep_dense(p, core::DenseSweepRequest{.kernel = core::KernelId::kGemm});
   };
   const auto off = sweep(sim::broadwell(sim::EdramMode::kOff));
   const auto on = sweep(sim::broadwell(sim::EdramMode::kOn));

@@ -4,12 +4,13 @@
 #include "common.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 8", "Cholesky on Broadwell: (order, tile) heat maps, w/o vs w/ eDRAM");
 
   const auto sweep = [](const sim::Platform& p) {
-    return core::sweep_dense(p, core::KernelId::kCholesky, 256, 16128, 512, 128, 4096, 128);
+    return core::sweep_dense(p, core::DenseSweepRequest{.kernel = core::KernelId::kCholesky});
   };
   const auto off = sweep(sim::broadwell(sim::EdramMode::kOff));
   const auto on = sweep(sim::broadwell(sim::EdramMode::kOn));

@@ -2,15 +2,15 @@
 // raw throughput scatter, eDRAM speedup, and structure heat map.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 9", "SpMV (CSR5) on Broadwell over 968 matrices, w/o vs w/ eDRAM");
 
   const auto& suite = bench::paper_suite();
-  const auto off =
-      core::sweep_sparse(sim::broadwell(sim::EdramMode::kOff), core::KernelId::kSpmv, suite);
-  const auto on =
-      core::sweep_sparse(sim::broadwell(sim::EdramMode::kOn), core::KernelId::kSpmv, suite);
+  const core::SparseSweepRequest req{.kernel = core::KernelId::kSpmv};
+  const auto off = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOff), req, suite);
+  const auto on = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOn), req, suite);
 
   bench::print_sparse_triptych("SpMV", "w/o eDRAM", off, "w/ eDRAM", on);
 

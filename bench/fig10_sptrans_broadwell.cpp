@@ -1,15 +1,16 @@
 // Reproduces Figure 10: SpTRANS (ScanTrans) on Broadwell over the suite.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 10", "SpTRANS (ScanTrans) on Broadwell over 968 matrices");
 
   const auto& suite = bench::paper_suite();
-  const auto off = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOff),
-                                      core::KernelId::kSptrans, suite, /*merge_based=*/false);
-  const auto on = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOn),
-                                     core::KernelId::kSptrans, suite, /*merge_based=*/false);
+  const core::SparseSweepRequest req{.kernel = core::KernelId::kSptrans,
+                                     .merge_based = false};
+  const auto off = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOff), req, suite);
+  const auto on = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOn), req, suite);
 
   bench::print_sparse_triptych("SpTRANS", "w/o eDRAM", off, "w/ eDRAM", on);
 

@@ -1,15 +1,15 @@
 // Reproduces Figure 11: SpTRSV (level-set) on Broadwell over the suite.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 11", "SpTRSV (level-set) on Broadwell over 968 matrices");
 
   const auto& suite = bench::paper_suite();
-  const auto off =
-      core::sweep_sparse(sim::broadwell(sim::EdramMode::kOff), core::KernelId::kSptrsv, suite);
-  const auto on =
-      core::sweep_sparse(sim::broadwell(sim::EdramMode::kOn), core::KernelId::kSptrsv, suite);
+  const core::SparseSweepRequest req{.kernel = core::KernelId::kSptrsv};
+  const auto off = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOff), req, suite);
+  const auto on = core::sweep_sparse(sim::broadwell(sim::EdramMode::kOn), req, suite);
 
   bench::print_sparse_triptych("SpTRSV", "w/o eDRAM", off, "w/ eDRAM", on);
 

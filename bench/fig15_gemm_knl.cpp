@@ -4,16 +4,21 @@
 #include "common.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 15", "GEMM on KNL: (order, tile) heat maps for all four MCDRAM modes");
 
-  // Appendix A.2.1: n in {256..32000 step 1024}, nb in {128..4096 step 128}.
+  // Appendix A.2.1 KNL grid: n in {256..32000 step 1024}, nb in {128..4096}.
+  const core::DenseSweepRequest req{.kernel = core::KernelId::kGemm,
+                                    .n_hi = 32000,
+                                    .n_step = 1024,
+                                    .nb_step = 256};
   double best[4] = {0, 0, 0, 0};
   int i = 0;
   std::vector<std::vector<core::SweepPoint>> sweeps;
   for (const auto& p : bench::knl_modes()) {
-    auto points = core::sweep_dense(p, core::KernelId::kGemm, 256, 32000, 1024, 128, 4096, 256);
+    auto points = core::sweep_dense(p, req);
     for (const auto& pt : points) best[i] = std::max(best[i], pt.gflops);
     bench::print_dense_heatmap("GFlop/s " + p.mode_label, points);
     sweeps.push_back(std::move(points));

@@ -4,15 +4,19 @@
 #include "common.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 16", "Cholesky on KNL: heat maps for all four MCDRAM modes");
 
+  const core::DenseSweepRequest req{.kernel = core::KernelId::kCholesky,
+                                    .n_hi = 32000,
+                                    .n_step = 1024,
+                                    .nb_step = 256};
   double best[4] = {0, 0, 0, 0};
   int i = 0;
   for (const auto& p : bench::knl_modes()) {
-    auto points =
-        core::sweep_dense(p, core::KernelId::kCholesky, 256, 32000, 1024, 128, 4096, 256);
+    auto points = core::sweep_dense(p, req);
     for (const auto& pt : points) best[i] = std::max(best[i], pt.gflops);
     bench::print_dense_heatmap("GFlop/s " + p.mode_label, points);
     if (i == 0) bench::print_dense_csv("cholesky_knl_ddr", points);

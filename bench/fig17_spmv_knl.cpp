@@ -2,19 +2,17 @@
 // three MCDRAM modes against DDR over the 968-matrix suite.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 17", "SpMV (CSR5) on KNL over 968 matrices, all MCDRAM modes vs DDR");
 
   const auto& suite = bench::paper_suite();
-  const auto ddr =
-      core::sweep_sparse(sim::knl(sim::McdramMode::kOff), core::KernelId::kSpmv, suite);
-  const auto flat =
-      core::sweep_sparse(sim::knl(sim::McdramMode::kFlat), core::KernelId::kSpmv, suite);
-  const auto cache =
-      core::sweep_sparse(sim::knl(sim::McdramMode::kCache), core::KernelId::kSpmv, suite);
-  const auto hybrid =
-      core::sweep_sparse(sim::knl(sim::McdramMode::kHybrid), core::KernelId::kSpmv, suite);
+  const core::SparseSweepRequest req{.kernel = core::KernelId::kSpmv};
+  const auto ddr = core::sweep_sparse(sim::knl(sim::McdramMode::kOff), req, suite);
+  const auto flat = core::sweep_sparse(sim::knl(sim::McdramMode::kFlat), req, suite);
+  const auto cache = core::sweep_sparse(sim::knl(sim::McdramMode::kCache), req, suite);
+  const auto hybrid = core::sweep_sparse(sim::knl(sim::McdramMode::kHybrid), req, suite);
 
   bench::print_sparse_triptych("SpMV(flat)", "DDR", ddr, "MCDRAM flat", flat);
   bench::print_sparse_triptych("SpMV(cache)", "DDR", ddr, "MCDRAM cache", cache);

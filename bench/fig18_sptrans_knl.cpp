@@ -2,15 +2,15 @@
 #include "common.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 18", "SpTRANS (MergeTrans) on KNL over 968 matrices");
 
   const auto& suite = bench::paper_suite();
-  const auto ddr = core::sweep_sparse(sim::knl(sim::McdramMode::kOff),
-                                      core::KernelId::kSptrans, suite, /*merge_based=*/true);
-  const auto flat = core::sweep_sparse(sim::knl(sim::McdramMode::kFlat),
-                                       core::KernelId::kSptrans, suite, /*merge_based=*/true);
+  const core::SparseSweepRequest req{.kernel = core::KernelId::kSptrans, .merge_based = true};
+  const auto ddr = core::sweep_sparse(sim::knl(sim::McdramMode::kOff), req, suite);
+  const auto flat = core::sweep_sparse(sim::knl(sim::McdramMode::kFlat), req, suite);
 
   bench::print_sparse_triptych("SpTRANS", "DDR", ddr, "MCDRAM flat", flat);
 

@@ -3,15 +3,15 @@
 #include "common.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 19", "SpTRSV (level-set) on KNL over 968 matrices");
 
   const auto& suite = bench::paper_suite();
-  const auto ddr =
-      core::sweep_sparse(sim::knl(sim::McdramMode::kOff), core::KernelId::kSptrsv, suite);
-  const auto cache =
-      core::sweep_sparse(sim::knl(sim::McdramMode::kCache), core::KernelId::kSptrsv, suite);
+  const core::SparseSweepRequest req{.kernel = core::KernelId::kSptrsv};
+  const auto ddr = core::sweep_sparse(sim::knl(sim::McdramMode::kOff), req, suite);
+  const auto cache = core::sweep_sparse(sim::knl(sim::McdramMode::kCache), req, suite);
 
   bench::print_sparse_triptych("SpTRSV", "DDR", ddr, "MCDRAM cache", cache);
 

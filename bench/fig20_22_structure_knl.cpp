@@ -3,20 +3,24 @@
 // share similar structural behaviour).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figures 20-22", "Structure impact of SpMV / SpTRANS / SpTRSV on KNL");
 
   const auto& suite = bench::paper_suite();
   const sim::Platform knl = sim::knl(sim::McdramMode::kFlat);
 
   bench::print_structure_heatmap(
-      "SpMV (Fig. 20)", core::sweep_sparse(knl, core::KernelId::kSpmv, suite));
+      "SpMV (Fig. 20)",
+      core::sweep_sparse(knl, {.kernel = core::KernelId::kSpmv}, suite));
   bench::print_structure_heatmap(
       "SpTRANS (Fig. 21)",
-      core::sweep_sparse(knl, core::KernelId::kSptrans, suite, /*merge_based=*/true));
+      core::sweep_sparse(knl, {.kernel = core::KernelId::kSptrans, .merge_based = true},
+                         suite));
   bench::print_structure_heatmap(
-      "SpTRSV (Fig. 22)", core::sweep_sparse(knl, core::KernelId::kSptrsv, suite));
+      "SpTRSV (Fig. 22)",
+      core::sweep_sparse(knl, {.kernel = core::KernelId::kSptrsv}, suite));
 
   bench::shape_note(
       "Paper: SpMV performs best at small row counts (efficient vector caching); SpTRANS "

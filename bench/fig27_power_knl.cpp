@@ -9,8 +9,9 @@
 #include "util/format.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Figure 27", "KNL average power per kernel, w/o vs w/ MCDRAM (flat)");
 
   const auto off = core::power_rows(sim::knl(sim::McdramMode::kOff), bench::paper_suite());

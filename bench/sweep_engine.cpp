@@ -31,8 +31,12 @@ std::pair<double, std::vector<opm::core::SweepPoint>> time_sweep(int reps, Sweep
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
+  // This harness measures the compute path itself — a result-cache hit
+  // would short-circuit exactly what it is timing.
+  core::configure_result_cache({.enabled = false});
   bench::banner("Sweep engine", "work-stealing parallel sweeps with deterministic reduction");
 
   const auto& suite = bench::paper_suite();
@@ -41,10 +45,17 @@ int main() {
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   constexpr int kReps = 20;
 
-  const auto sparse_sweep = [&] { return core::sweep_sparse(knl, core::KernelId::kSpmv, suite); };
+  const auto sparse_sweep = [&] {
+    return core::sweep_sparse(knl, {.kernel = core::KernelId::kSpmv}, suite);
+  };
   const auto dense_sweep = [&] {
-    return core::sweep_dense(brd, core::KernelId::kGemm, 256.0, 16128.0, 1024.0, 128.0,
-                             4096.0, 256.0);
+    return core::sweep_dense(brd, {.kernel = core::KernelId::kGemm,
+                                   .n_lo = 256.0,
+                                   .n_hi = 16128.0,
+                                   .n_step = 1024.0,
+                                   .nb_lo = 128.0,
+                                   .nb_hi = 4096.0,
+                                   .nb_step = 256.0});
   };
 
   core::set_sweep_workers(0);

@@ -8,8 +8,9 @@
 #include "sim/power.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Table 4", "Summarized statistics for applying eDRAM (Broadwell)");
 
   std::cout << util::pad("Kernel", 10) << util::pad("w/o best", 12) << util::pad("w/ best", 12)

@@ -6,8 +6,9 @@
 #include "core/speedup.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opm;
+  bench::init(argc, argv);
   bench::banner("Table 5", "Summarized statistics for MCDRAM flat/cache/hybrid vs DDR (KNL)");
 
   const auto rows = core::table5_mcdram(bench::paper_suite());

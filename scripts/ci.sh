@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
-# Sanitizer CI for the tier-1 test suite.
+# Sanitizer + cache CI for the tier-1 test suite.
 #
-#   ./scripts/ci.sh [thread|address|all]     (default: all)
+#   ./scripts/ci.sh [thread|address|cache|all]     (default: all)
 #
 # Builds the full test suite with -DOPM_SANITIZE=<mode> into its own build
 # tree (build-tsan / build-asan) and runs ctest. TSan is what guards the
 # work-stealing deques in util::ThreadPool; ASan+UBSan guard everything
 # else. Any sanitizer report fails the ctest invocation (halt_on_error).
+#
+# Sanitizer jobs run with the result cache DISABLED (OPM_NO_CACHE=1): a
+# cache hit would short-circuit the compute path the sanitizers exist to
+# instrument.
+#
+# The cache job builds the plain tree, then runs the Table 4/5 summaries
+# twice against a scratch cache dir — once cold, once warm — with
+# telemetry muted, and diffs the outputs byte for byte. Warm results that
+# differ in any byte fail CI.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,19 +27,47 @@ run_one() {
   cmake -B "$root/$dir" -G Ninja -S "$root" -DOPM_SANITIZE="$sanitizer" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$root/$dir"
-  echo "== [$sanitizer] ctest"
+  echo "== [$sanitizer] ctest (result cache disabled)"
+  OPM_NO_CACHE=1 \
   TSAN_OPTIONS="halt_on_error=1 history_size=7" \
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
     ctest --test-dir "$root/$dir" --output-on-failure -j "$(nproc)"
 }
 
+run_cache() {
+  local dir="build-cache"
+  echo "== [cache] configure & build ($dir)"
+  cmake -B "$root/$dir" -G Ninja -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$root/$dir" --target table4_edram_summary table5_mcdram_summary \
+        cache_effectiveness
+  local scratch="$root/$dir/ci-cache-scratch"
+  rm -rf "$scratch"
+  echo "== [cache] cold vs warm byte-for-byte diff (telemetry muted)"
+  for b in table4_edram_summary table5_mcdram_summary; do
+    "$root/$dir/bench/$b" --cache-dir="$scratch" --no-sweep-stats \
+        > "$root/$dir/$b.cold.out"
+    "$root/$dir/bench/$b" --cache-dir="$scratch" --no-sweep-stats \
+        > "$root/$dir/$b.warm.out"
+    if ! cmp "$root/$dir/$b.cold.out" "$root/$dir/$b.warm.out"; then
+      echo "ci: FAIL — $b warm output differs from cold output" >&2
+      exit 1
+    fi
+    echo "   $b: cold == warm"
+  done
+  echo "== [cache] effectiveness gate (>= 10x disk-warm speedup, bit-identical)"
+  "$root/$dir/bench/cache_effectiveness" --cache-dir="$scratch"
+}
+
 case "$mode" in
   thread)  run_one thread build-tsan ;;
   address) run_one address build-asan ;;
+  cache)   run_cache ;;
   all)     run_one thread build-tsan
-           run_one address build-asan ;;
-  *) echo "usage: $0 [thread|address|all]" >&2; exit 2 ;;
+           run_one address build-asan
+           run_cache ;;
+  *) echo "usage: $0 [thread|address|cache|all]" >&2; exit 2 ;;
 esac
 
-echo "ci: sanitizer suite(s) green"
+echo "ci: suite(s) green"

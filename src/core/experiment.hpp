@@ -43,19 +43,97 @@ struct SweepPoint {
   bool operator==(const SweepPoint&) const = default;
 };
 
-/// Dense (n, nb) grid sweep for GEMM or Cholesky. Ranges follow appendix
-/// A.2.1: n_hi = 16128 on Broadwell, 32000 on KNL; nb in 128..4096.
+// ---------------------------------------------------------------- requests --
+//
+// Canonical request structs are THE sweep API: designated initializers,
+// defaults matching the paper's appendix A.2 configuration, operator==,
+// and a stable canonical serialization — so each struct, combined with the
+// platform (and suite) fingerprints and the cache version, IS the
+// result-cache key. The old positional overloads survive one release as
+// [[deprecated]] shims.
+
+/// Dense (n, nb) grid sweep request for GEMM or Cholesky. Defaults are the
+/// appendix A.2.1 Broadwell grid; KNL harnesses widen to n_hi = 32000.
+struct DenseSweepRequest {
+  KernelId kernel = KernelId::kGemm;
+  double n_lo = 256.0;
+  double n_hi = 16128.0;
+  double n_step = 512.0;
+  double nb_lo = 128.0;
+  double nb_hi = 4096.0;
+  double nb_step = 128.0;
+
+  bool operator==(const DenseSweepRequest&) const = default;
+};
+
+/// Sparse-suite sweep request. `merge_based` selects the MergeTrans
+/// variant for SpTRANS (the paper's KNL configuration); ignored by the
+/// other kernels. The suite itself stays a separate argument — its
+/// descriptors are fingerprinted into the cache key.
+struct SparseSweepRequest {
+  KernelId kernel = KernelId::kSpmv;
+  bool merge_based = false;
+
+  bool operator==(const SparseSweepRequest&) const = default;
+};
+
+/// Footprint sweep request for Stream / Stencil / FFT; bounds in bytes,
+/// log-spaced points. Defaults are the appendix A.2.8 Broadwell Stream
+/// range (16 KB up to 2^24 elements x 24 bytes).
+struct FootprintSweepRequest {
+  KernelId kernel = KernelId::kStream;
+  double fp_lo = 16.0 * 1024.0;
+  double fp_hi = 16777216.0 * 24.0;
+  std::size_t points = 64;
+
+  bool operator==(const FootprintSweepRequest&) const = default;
+};
+
+/// Canonical, bit-exact serializations (doubles rendered as C99 hex
+/// floats). Equal requests serialize identically; any field change
+/// changes the text. This is what gets hashed into the cache key.
+std::string serialize(const DenseSweepRequest& req);
+std::string serialize(const SparseSweepRequest& req);
+std::string serialize(const FootprintSweepRequest& req);
+
+/// Cache keys: fingerprint of (cache version, request serialization,
+/// platform spec[, suite descriptors]). Exposed so tests can pin the
+/// sensitivity contract: any field change yields a distinct key.
+util::Digest128 sweep_cache_key(const sim::Platform& platform, const DenseSweepRequest& req);
+util::Digest128 sweep_cache_key(const sim::Platform& platform, const SparseSweepRequest& req,
+                                const sparse::SyntheticCollection& suite);
+util::Digest128 sweep_cache_key(const sim::Platform& platform,
+                                const FootprintSweepRequest& req);
+
+// ------------------------------------------------------------------ sweeps --
+
+/// Dense (n, nb) grid sweep for GEMM or Cholesky (appendix A.2.1).
+std::vector<SweepPoint> sweep_dense(const sim::Platform& platform,
+                                    const DenseSweepRequest& req);
+
+/// Sparse sweep over a synthetic suite.
+std::vector<SweepPoint> sweep_sparse(const sim::Platform& platform,
+                                     const SparseSweepRequest& req,
+                                     const sparse::SyntheticCollection& suite);
+
+/// Footprint sweep for Stream / Stencil / FFT.
+std::vector<SweepPoint> sweep_footprint_kernel(const sim::Platform& platform,
+                                               const FootprintSweepRequest& req);
+
+// Positional shims, kept for one release so downstream branches migrate
+// smoothly. No caller remains in this repo.
+
+[[deprecated("use sweep_dense(platform, DenseSweepRequest{...})")]]
 std::vector<SweepPoint> sweep_dense(const sim::Platform& platform, KernelId kernel,
                                     double n_lo, double n_hi, double n_step, double nb_lo,
                                     double nb_hi, double nb_step);
 
-/// Sparse sweep over a synthetic suite. `merge_based` selects the
-/// MergeTrans variant for SpTRANS (KNL); ignored by the other kernels.
+[[deprecated("use sweep_sparse(platform, SparseSweepRequest{...}, suite)")]]
 std::vector<SweepPoint> sweep_sparse(const sim::Platform& platform, KernelId kernel,
                                      const sparse::SyntheticCollection& suite,
                                      bool merge_based = false);
 
-/// Footprint sweep for Stream / Stencil / FFT. Bounds in bytes.
+[[deprecated("use sweep_footprint_kernel(platform, FootprintSweepRequest{...})")]]
 std::vector<SweepPoint> sweep_footprint_kernel(const sim::Platform& platform, KernelId kernel,
                                                double fp_lo, double fp_hi, std::size_t points);
 

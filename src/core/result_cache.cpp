@@ -1,0 +1,382 @@
+#include "core/result_cache.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace opm::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------- record format --
+//
+// One record per key, named <hex32>.opmrec. Fixed 48-byte header followed
+// by the raw payload bytes. Host-endian: records are a per-machine cache,
+// not an interchange format. Every field is validated on read; any
+// mismatch degrades to a miss.
+
+constexpr char kMagic[4] = {'O', 'P', 'M', 'R'};
+constexpr std::size_t kHeaderBytes = 48;
+
+void put_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::uint64_t payload_checksum(const std::vector<std::byte>& payload) {
+  util::Hasher128 h;
+  h.add_bytes(payload.data(), payload.size());
+  return h.digest().lo;
+}
+
+enum class ReadOutcome { kOk, kAbsent, kCorrupt, kVersionSkew, kTypeMismatch, kIoError };
+
+struct DigestHash {
+  std::size_t operator()(const util::Digest128& d) const {
+    return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace
+
+struct ResultCache::Impl {
+  struct Entry {
+    util::Digest128 key;
+    std::size_t elem_size = 0;
+    std::vector<std::byte> payload;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<util::Digest128, std::list<Entry>::iterator, DigestHash> index;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  mutable std::mutex config_mutex;
+  CacheConfig config;
+  std::atomic<bool> enabled{false};
+  std::atomic<std::size_t> per_shard_cap{4096 / kShards};
+  Shard shards[kShards];
+
+  // Stats (atomics: lookups run concurrently on sweep workers).
+  std::atomic<std::size_t> memory_hits{0}, disk_hits{0}, misses{0}, stores{0};
+  std::atomic<std::size_t> bytes_loaded{0}, bytes_stored{0};
+  std::atomic<std::size_t> corrupt_records{0}, version_skew{0}, type_mismatch{0},
+      io_errors{0};
+  std::atomic<double> lookup_seconds{0.0}, store_seconds{0.0};
+  std::atomic<std::uint64_t> tmp_counter{0};
+
+  Shard& shard(const util::Digest128& key) { return shards[key.lo % kShards]; }
+
+  CacheConfig snapshot() const {
+    std::lock_guard lock(config_mutex);
+    return config;
+  }
+
+  fs::path record_path(const CacheConfig& cfg, const util::Digest128& key) const {
+    return fs::path(cfg.dir) / (key.hex() + ".opmrec");
+  }
+
+  // ------------------------------------------------------------ memory tier --
+
+  std::optional<std::vector<std::byte>> memory_find(const util::Digest128& key,
+                                                    std::size_t elem_size) {
+    Shard& s = shard(key);
+    std::lock_guard lock(s.mutex);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) return std::nullopt;
+    if (it->second->elem_size != elem_size) {
+      // Same key, different element size: practically impossible without a
+      // hash collision or a caller bug; treat as absent rather than serve
+      // wrongly-typed bytes.
+      return std::nullopt;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
+    return it->second->payload;
+  }
+
+  void memory_store(const util::Digest128& key, std::size_t elem_size,
+                    std::vector<std::byte> payload) {
+    const std::size_t cap = per_shard_cap.load(std::memory_order_relaxed);
+    Shard& s = shard(key);
+    std::lock_guard lock(s.mutex);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->elem_size = elem_size;
+      it->second->payload = std::move(payload);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    s.lru.push_front(Entry{key, elem_size, std::move(payload)});
+    s.index.emplace(key, s.lru.begin());
+    while (s.lru.size() > cap) {
+      s.index.erase(s.lru.back().key);
+      s.lru.pop_back();
+    }
+  }
+
+  // -------------------------------------------------------------- disk tier --
+
+  ReadOutcome disk_read(const CacheConfig& cfg, const util::Digest128& key,
+                        std::size_t elem_size, std::vector<std::byte>& out) {
+    const fs::path path = record_path(cfg, key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::error_code ec;
+      return fs::exists(path, ec) ? ReadOutcome::kIoError : ReadOutcome::kAbsent;
+    }
+    unsigned char header[kHeaderBytes];
+    if (!in.read(reinterpret_cast<char*>(header), kHeaderBytes))
+      return ReadOutcome::kCorrupt;  // shorter than a header: truncated
+    if (std::memcmp(header, kMagic, 4) != 0) return ReadOutcome::kCorrupt;
+    if (get_u32(header + 4) != kResultCacheVersion) return ReadOutcome::kVersionSkew;
+    if (get_u64(header + 8) != key.hi || get_u64(header + 16) != key.lo)
+      return ReadOutcome::kCorrupt;
+    if (get_u64(header + 24) != elem_size) return ReadOutcome::kTypeMismatch;
+    const std::uint64_t payload_len = get_u64(header + 32);
+    const std::uint64_t checksum = get_u64(header + 40);
+    if (elem_size == 0 || payload_len % elem_size != 0) return ReadOutcome::kCorrupt;
+    // Bound the read by the actual file size so a header lying about its
+    // length cannot make us allocate absurd buffers.
+    std::error_code ec;
+    const auto file_size = fs::file_size(path, ec);
+    if (ec || file_size != kHeaderBytes + payload_len) return ReadOutcome::kCorrupt;
+    std::vector<std::byte> payload(payload_len);
+    if (payload_len > 0 &&
+        !in.read(reinterpret_cast<char*>(payload.data()),
+                 static_cast<std::streamsize>(payload_len)))
+      return ReadOutcome::kCorrupt;
+    if (payload_checksum(payload) != checksum) return ReadOutcome::kCorrupt;
+    out = std::move(payload);
+    return ReadOutcome::kOk;
+  }
+
+  bool disk_write(const CacheConfig& cfg, const util::Digest128& key, std::size_t elem_size,
+                  const std::vector<std::byte>& payload) {
+    std::error_code ec;
+    fs::create_directories(cfg.dir, ec);
+    if (ec) return false;
+    const fs::path final_path = record_path(cfg, key);
+    const fs::path tmp_path =
+        fs::path(cfg.dir) / (".tmp-" + key.hex() + "-" +
+                             std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+    {
+      std::ofstream outf(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!outf) return false;
+      unsigned char header[kHeaderBytes];
+      std::memcpy(header, kMagic, 4);
+      put_u32(header + 4, kResultCacheVersion);
+      put_u64(header + 8, key.hi);
+      put_u64(header + 16, key.lo);
+      put_u64(header + 24, elem_size);
+      put_u64(header + 32, payload.size());
+      put_u64(header + 40, payload_checksum(payload));
+      outf.write(reinterpret_cast<const char*>(header), kHeaderBytes);
+      if (!payload.empty())
+        outf.write(reinterpret_cast<const char*>(payload.data()),
+                   static_cast<std::streamsize>(payload.size()));
+      outf.flush();
+      if (!outf) {
+        outf.close();
+        fs::remove(tmp_path, ec);
+        return false;
+      }
+    }
+    // Atomic publish: readers see either no record or a complete one.
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+      fs::remove(tmp_path, ec);
+      return false;
+    }
+    return true;
+  }
+};
+
+ResultCache::ResultCache() : impl_(new Impl) {}
+ResultCache::~ResultCache() { delete impl_; }
+
+ResultCache& ResultCache::instance() {
+  // Magic-static: the shard table is constructed exactly once, with every
+  // concurrent first caller blocked until it is ready.
+  static ResultCache cache;
+  return cache;
+}
+
+void ResultCache::configure(const CacheConfig& config) {
+  {
+    std::lock_guard lock(impl_->config_mutex);
+    impl_->config = config;
+  }
+  impl_->enabled.store(config.enabled, std::memory_order_release);
+  impl_->per_shard_cap.store(
+      std::max<std::size_t>(1, config.max_entries / Impl::kShards),
+      std::memory_order_relaxed);
+  clear_memory();
+}
+
+CacheConfig ResultCache::config() const { return impl_->snapshot(); }
+
+bool ResultCache::enabled() const {
+  return impl_->enabled.load(std::memory_order_acquire);
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats s;
+  s.memory_hits = impl_->memory_hits.load();
+  s.disk_hits = impl_->disk_hits.load();
+  s.misses = impl_->misses.load();
+  s.stores = impl_->stores.load();
+  s.bytes_loaded = impl_->bytes_loaded.load();
+  s.bytes_stored = impl_->bytes_stored.load();
+  s.corrupt_records = impl_->corrupt_records.load();
+  s.version_skew = impl_->version_skew.load();
+  s.type_mismatch = impl_->type_mismatch.load();
+  s.io_errors = impl_->io_errors.load();
+  s.lookup_seconds = impl_->lookup_seconds.load();
+  s.store_seconds = impl_->store_seconds.load();
+  return s;
+}
+
+void ResultCache::reset_stats() {
+  impl_->memory_hits = 0;
+  impl_->disk_hits = 0;
+  impl_->misses = 0;
+  impl_->stores = 0;
+  impl_->bytes_loaded = 0;
+  impl_->bytes_stored = 0;
+  impl_->corrupt_records = 0;
+  impl_->version_skew = 0;
+  impl_->type_mismatch = 0;
+  impl_->io_errors = 0;
+  impl_->lookup_seconds = 0.0;
+  impl_->store_seconds = 0.0;
+}
+
+void ResultCache::clear_memory() {
+  for (auto& s : impl_->shards) {
+    std::lock_guard lock(s.mutex);
+    s.lru.clear();
+    s.index.clear();
+  }
+}
+
+std::optional<std::vector<std::byte>> ResultCache::find_bytes(const util::Digest128& key,
+                                                              std::size_t elem_size,
+                                                              CacheProbe* probe) {
+  if (!enabled()) {
+    if (probe) probe->source = "off";
+    return std::nullopt;
+  }
+  const auto t0 = Clock::now();
+  CacheProbe local;
+  CacheProbe& p = probe ? *probe : local;
+
+  std::optional<std::vector<std::byte>> result;
+  if (auto mem = impl_->memory_find(key, elem_size)) {
+    impl_->memory_hits.fetch_add(1, std::memory_order_relaxed);
+    p.hit = true;
+    p.source = "memory";
+    p.bytes_loaded = mem->size();
+    result = std::move(mem);
+  } else {
+    const CacheConfig cfg = impl_->snapshot();
+    ReadOutcome outcome = ReadOutcome::kAbsent;
+    std::vector<std::byte> payload;
+    if (cfg.disk) outcome = impl_->disk_read(cfg, key, elem_size, payload);
+    switch (outcome) {
+      case ReadOutcome::kOk:
+        impl_->disk_hits.fetch_add(1, std::memory_order_relaxed);
+        p.hit = true;
+        p.source = "disk";
+        p.bytes_loaded = payload.size();
+        impl_->memory_store(key, elem_size, payload);  // promote
+        result = std::move(payload);
+        break;
+      case ReadOutcome::kAbsent:
+        p.source = "cold";
+        break;
+      case ReadOutcome::kCorrupt:
+        impl_->corrupt_records.fetch_add(1, std::memory_order_relaxed);
+        p.source = "corrupt";
+        break;
+      case ReadOutcome::kVersionSkew:
+        impl_->version_skew.fetch_add(1, std::memory_order_relaxed);
+        p.source = "version-skew";
+        break;
+      case ReadOutcome::kTypeMismatch:
+        impl_->type_mismatch.fetch_add(1, std::memory_order_relaxed);
+        p.source = "type-mismatch";
+        break;
+      case ReadOutcome::kIoError:
+        impl_->io_errors.fetch_add(1, std::memory_order_relaxed);
+        p.source = "io-error";
+        break;
+    }
+    if (!p.hit) impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  p.lookup_seconds = seconds_since(t0);
+  impl_->lookup_seconds.fetch_add(p.lookup_seconds, std::memory_order_relaxed);
+  if (p.hit)
+    impl_->bytes_loaded.fetch_add(p.bytes_loaded, std::memory_order_relaxed);
+  return result;
+}
+
+bool ResultCache::store_bytes(const util::Digest128& key, std::size_t elem_size,
+                              std::vector<std::byte> payload, CacheProbe* probe) {
+  if (!enabled()) return false;
+  const auto t0 = Clock::now();
+  const CacheConfig cfg = impl_->snapshot();
+  const std::size_t payload_bytes = payload.size();
+  bool disk_ok = true;
+  if (cfg.disk) {
+    disk_ok = impl_->disk_write(cfg, key, elem_size, payload);
+    if (disk_ok)
+      impl_->bytes_stored.fetch_add(payload_bytes, std::memory_order_relaxed);
+    else
+      impl_->io_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  impl_->memory_store(key, elem_size, std::move(payload));
+  impl_->stores.fetch_add(1, std::memory_order_relaxed);
+  const double dt = seconds_since(t0);
+  impl_->store_seconds.fetch_add(dt, std::memory_order_relaxed);
+  if (probe) {
+    probe->store_seconds = dt;
+    probe->bytes_stored = disk_ok && cfg.disk ? payload_bytes : 0;
+  }
+  return true;
+}
+
+void configure_result_cache(const CacheConfig& config) {
+  ResultCache::instance().configure(config);
+}
+
+CacheConfig result_cache_config() { return ResultCache::instance().config(); }
+
+CacheStats result_cache_stats() { return ResultCache::instance().stats(); }
+
+void reset_result_cache_stats() { ResultCache::instance().reset_stats(); }
+
+}  // namespace opm::core

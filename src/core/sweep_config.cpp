@@ -1,0 +1,67 @@
+#include "core/sweep_config.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/sweep.hpp"
+
+namespace opm::core {
+
+namespace {
+
+std::atomic<bool> g_telemetry{true};
+
+/// getenv as a string, empty when unset.
+std::string env_str(const char* name) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : std::string();
+}
+
+/// True for "1"/"true"/"yes"/"on" (the common shell spellings).
+bool truthy(const std::string& v) {
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace
+
+SweepConfig default_sweep_config() {
+  SweepConfig cfg;
+  const unsigned hw = std::thread::hardware_concurrency();
+  cfg.workers = hw == 0 ? 1 : hw;
+  cfg.telemetry = true;
+  cfg.cache.enabled = true;
+  cfg.cache.disk = true;
+  return cfg;
+}
+
+SweepConfig apply_env(SweepConfig base) {
+  if (const std::string v = env_str("OPM_SWEEP_WORKERS"); !v.empty()) {
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (end && *end == '\0' && n >= 0) base.workers = static_cast<std::size_t>(n);
+  }
+  if (const std::string v = env_str("OPM_CACHE_DIR"); !v.empty()) {
+    base.cache.dir = v;
+    base.cache.enabled = true;
+  }
+  if (truthy(env_str("OPM_NO_CACHE"))) base.cache.enabled = false;
+  if (const std::string v = env_str("OPM_SWEEP_STATS"); !v.empty())
+    base.telemetry = truthy(v);
+  return base;
+}
+
+void apply_sweep_config(const SweepConfig& config) {
+  set_sweep_workers(config.workers);
+  configure_result_cache(config.cache);
+  set_sweep_telemetry(config.telemetry);
+}
+
+void set_sweep_telemetry(bool enabled) {
+  g_telemetry.store(enabled, std::memory_order_relaxed);
+}
+
+bool sweep_telemetry() { return g_telemetry.load(std::memory_order_relaxed); }
+
+}  // namespace opm::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/result_cache.hpp"
+
+/// The consolidated runtime-knob surface for the sweep engine.
+///
+/// Before this existed, each harness touched core::set_sweep_workers() ad
+/// hoc and nothing configured the result cache. Now a harness resolves one
+/// SweepConfig — defaults, overlaid by environment, overlaid by CLI (see
+/// bench::init) — and applies it once:
+///
+///   knob                 CLI                 environment
+///   ------------------   -----------------   --------------------
+///   workers              --sweep-workers=N   OPM_SWEEP_WORKERS=N
+///   cache.dir            --cache-dir=PATH    OPM_CACHE_DIR=PATH
+///   cache.enabled        --no-cache          OPM_NO_CACHE=1
+///   telemetry            --no-sweep-stats    OPM_SWEEP_STATS=0
+///
+/// Tests and libraries that need one specific knob can still call
+/// set_sweep_workers() / configure_result_cache() directly.
+namespace opm::core {
+
+struct SweepConfig {
+  std::size_t workers = 0;  ///< sweep worker count (0 = serial inline)
+  bool telemetry = true;    ///< bench harnesses emit SweepStats blocks
+  CacheConfig cache;        ///< result-cache tiers (core/result_cache.hpp)
+};
+
+/// Bench-harness defaults: hardware-concurrency workers, telemetry on, and
+/// the cache enabled with both tiers (disk under ".opm-cache"). Note this
+/// differs from the library default — a process that never applies a
+/// SweepConfig runs with the cache disabled.
+SweepConfig default_sweep_config();
+
+/// Overlays OPM_SWEEP_WORKERS / OPM_CACHE_DIR / OPM_NO_CACHE /
+/// OPM_SWEEP_STATS onto `base`. Unset or unparsable variables leave the
+/// base value untouched.
+SweepConfig apply_env(SweepConfig base);
+
+/// Applies the config process-wide: set_sweep_workers(), the result-cache
+/// configuration, and the telemetry switch.
+void apply_sweep_config(const SweepConfig& config);
+
+/// The telemetry switch applied last (default: on).
+void set_sweep_telemetry(bool enabled);
+bool sweep_telemetry();
+
+}  // namespace opm::core

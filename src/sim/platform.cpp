@@ -194,4 +194,35 @@ Platform knl(McdramMode mode, ClusterMode cluster) {
   return p;
 }
 
+void hash_platform(util::Hasher128& h, const Platform& p) {
+  h.add(std::string_view("opm.sim.Platform.v1"));
+  h.add(std::string_view(p.name)).add(std::string_view(p.mode_label));
+  h.add(std::int64_t{p.cores}).add(std::int64_t{p.threads});
+  h.add(p.frequency).add(p.sp_peak_flops).add(p.dp_peak_flops);
+  h.add(static_cast<std::uint64_t>(p.tiers.size()));
+  for (const auto& t : p.tiers) {
+    h.add(std::string_view(t.geometry.name));
+    h.add(t.geometry.capacity);
+    h.add(std::uint64_t{t.geometry.line_size}).add(std::uint64_t{t.geometry.associativity});
+    h.add(t.geometry.write_allocate);
+    h.add(static_cast<std::uint64_t>(t.geometry.policy));
+    h.add(static_cast<std::uint64_t>(t.kind));
+    h.add(t.bandwidth).add(t.latency).add(t.tag_overhead);
+  }
+  h.add(static_cast<std::uint64_t>(p.devices.size()));
+  for (const auto& d : p.devices) {
+    h.add(std::string_view(d.name));
+    h.add(d.capacity).add(d.bandwidth).add(d.latency).add(d.on_package);
+  }
+  h.add(p.flat_opm_bytes).add(p.split_penalty);
+  h.add(p.package_idle_watts).add(p.package_max_watts);
+  h.add(p.dram_watts_per_gbps).add(p.opm_watts_static).add(p.opm_watts_per_gbps);
+}
+
+util::Digest128 fingerprint(const Platform& p) {
+  util::Hasher128 h;
+  hash_platform(h, p);
+  return h.digest();
+}
+
 }  // namespace opm::sim

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/cache.hpp"
+#include "util/fingerprint.hpp"
 
 /// Platform descriptions for the two evaluated machines (paper Table 3) and
 /// their OPM tuning options (paper Table 1).
@@ -120,5 +121,15 @@ Platform broadwell(EdramMode mode);
 /// L2-miss trip latency across the 2D mesh and are provided for the
 /// cluster-mode ablation (`bench/ablation_cluster_modes`).
 Platform knl(McdramMode mode, ClusterMode cluster = ClusterMode::kQuadrant);
+
+/// Streams every model-relevant field of `p` (names, geometry, timing,
+/// power calibration) into `h`. The platform fingerprint is part of every
+/// sweep's result-cache key, so recalibrating any platform constant
+/// re-keys — and thereby invalidates — all of that platform's cached
+/// results.
+void hash_platform(util::Hasher128& h, const Platform& p);
+
+/// Digest of hash_platform over a fresh hasher.
+util::Digest128 fingerprint(const Platform& p);
 
 }  // namespace opm::sim

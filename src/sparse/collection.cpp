@@ -152,4 +152,18 @@ Csr SyntheticCollection::materialize(std::size_t i) const {
   return {};
 }
 
+util::Digest128 SyntheticCollection::fingerprint() const {
+  util::Hasher128 h;
+  h.add(std::string_view("opm.sparse.SyntheticCollection.v1"));
+  h.add(static_cast<std::uint64_t>(descriptors_.size()));
+  for (const auto& d : descriptors_) {
+    h.add(std::int64_t{d.id});
+    h.add(std::string_view(d.name));
+    h.add(static_cast<std::uint64_t>(d.family));
+    h.add(d.rows).add(d.nnz).add(d.seed);
+    h.add(d.locality).add(d.footprint_bytes);
+  }
+  return h.digest();
+}
+
 }  // namespace opm::sparse

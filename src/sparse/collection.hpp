@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sparse/formats.hpp"
+#include "util/fingerprint.hpp"
 
 /// The synthetic stand-in for the paper's 968-matrix UF suite.
 ///
@@ -65,6 +66,12 @@ class SyntheticCollection {
 
   /// Builds the actual matrix for suite member i. O(nnz) time and memory.
   Csr materialize(std::size_t i) const;
+
+  /// Content fingerprint over every descriptor field. Part of each sparse
+  /// sweep's result-cache key: any change to the suite construction
+  /// (count, sizes, seeds, family mix, locality scores) re-keys all
+  /// cached results that were computed from it.
+  util::Digest128 fingerprint() const;
 
  private:
   static MatrixDescriptor describe(int id, Family family, std::int64_t rows, std::int64_t nnz,

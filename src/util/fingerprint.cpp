@@ -1,0 +1,89 @@
+#include "util/fingerprint.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace opm::util {
+
+namespace {
+
+constexpr std::uint64_t kMul1 = 0x87c37b91114253d5ull;
+constexpr std::uint64_t kMul2 = 0x4cf5ad432745937full;
+
+std::uint64_t rotl(std::uint64_t v, int r) { return (v << r) | (v >> (64 - r)); }
+
+/// MurmurHash3's 64-bit finalizer: full avalanche on one word.
+std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+std::string Digest128::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const auto byte = static_cast<unsigned>((word >> shift) & 0xff);
+    out[2 * static_cast<std::size_t>(i)] = digits[byte >> 4];
+    out[2 * static_cast<std::size_t>(i) + 1] = digits[byte & 0xf];
+  }
+  return out;
+}
+
+void Hasher128::mix(std::uint64_t word) {
+  ++words_;
+  std::uint64_t k = word * kMul1;
+  k = rotl(k, 31);
+  k *= kMul2;
+  a_ ^= k;
+  a_ = rotl(a_, 27) + b_;
+  a_ = a_ * 5 + 0x52dce729;
+  b_ ^= fmix64(word + words_ * 0x9e3779b97f4a7c15ull);
+  b_ = rotl(b_, 31) + a_;
+}
+
+Hasher128& Hasher128::add_bytes(const void* data, std::size_t len) {
+  mix(static_cast<std::uint64_t>(len));  // length framing
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (len >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    mix(w);
+    p += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p, len);
+    mix(w);
+  }
+  return *this;
+}
+
+Hasher128& Hasher128::add(std::uint64_t v) {
+  mix(v);
+  return *this;
+}
+
+Hasher128& Hasher128::add(double v) { return add(std::bit_cast<std::uint64_t>(v)); }
+
+Digest128 Hasher128::digest() const {
+  std::uint64_t h1 = a_ ^ (words_ * kMul1);
+  std::uint64_t h2 = b_ ^ (words_ * kMul2);
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return {h1, h2};
+}
+
+}  // namespace opm::util

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// 128-bit content fingerprints for the result cache.
+///
+/// Cache keys are derived by streaming every input that can change a sweep
+/// result (platform spec, kernel id, canonical request struct, suite
+/// descriptors, model version) through Hasher128. The hash is not
+/// cryptographic — it only has to make accidental collisions between
+/// distinct experiment configurations astronomically unlikely (2^-128
+/// birthday bound over at most a few million keys) and be byte-for-byte
+/// stable across processes, so a fingerprint written to disk today still
+/// addresses the same record tomorrow.
+namespace opm::util {
+
+/// A finalized 128-bit fingerprint.
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest128&) const = default;
+
+  /// 32 lowercase hex characters (hi then lo); used as the on-disk record
+  /// file name.
+  std::string hex() const;
+};
+
+/// Streaming 128-bit hasher (murmur3-style finalizer over two lanes).
+/// Inputs are length-framed, so add("ab").add("c") and add("a").add("bc")
+/// produce different digests.
+class Hasher128 {
+ public:
+  /// Raw bytes, length-prefixed.
+  Hasher128& add_bytes(const void* data, std::size_t len);
+
+  Hasher128& add(std::uint64_t v);
+  Hasher128& add(std::int64_t v) { return add(static_cast<std::uint64_t>(v)); }
+  Hasher128& add(std::uint32_t v) { return add(static_cast<std::uint64_t>(v)); }
+  Hasher128& add(std::int32_t v) { return add(static_cast<std::int64_t>(v)); }
+  Hasher128& add(bool v) { return add(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  /// Doubles are hashed by bit pattern: any representational change
+  /// (including -0.0 vs 0.0) is a different input and must re-key.
+  Hasher128& add(double v);
+  Hasher128& add(std::string_view s) { return add_bytes(s.data(), s.size()); }
+
+  /// Finalizes a copy of the current state; the hasher stays usable.
+  Digest128 digest() const;
+
+ private:
+  void mix(std::uint64_t word);
+
+  std::uint64_t a_ = 0x9ae16a3b2f90404full;
+  std::uint64_t b_ = 0xc949d7c7509e6557ull;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace opm::util

@@ -247,15 +247,22 @@ TEST(Density, GemmDensityShiftsRightWithEdram) {
 }
 
 TEST(Experiment, DenseSweepCoversGrid) {
-  const auto points = sweep_dense(sim::broadwell(sim::EdramMode::kOn), KernelId::kGemm, 256,
-                                  2304, 1024, 128, 512, 128);
+  const auto points = sweep_dense(sim::broadwell(sim::EdramMode::kOn),
+                                  DenseSweepRequest{.kernel = KernelId::kGemm,
+                                                    .n_lo = 256,
+                                                    .n_hi = 2304,
+                                                    .n_step = 1024,
+                                                    .nb_lo = 128,
+                                                    .nb_hi = 512,
+                                                    .nb_step = 128});
   EXPECT_EQ(points.size(), 3u * 4u);
   for (const auto& p : points) EXPECT_GT(p.gflops, 0.0);
 }
 
 TEST(Experiment, SparseSweepCoversSuite) {
   const auto suite = sparse::SyntheticCollection::test_suite(32, 100000);
-  const auto points = sweep_sparse(sim::knl(sim::McdramMode::kCache), KernelId::kSpmv, suite);
+  const auto points = sweep_sparse(sim::knl(sim::McdramMode::kCache),
+                                   SparseSweepRequest{.kernel = KernelId::kSpmv}, suite);
   EXPECT_EQ(points.size(), suite.size());
   for (const auto& p : points) {
     EXPECT_GT(p.gflops, 0.0);

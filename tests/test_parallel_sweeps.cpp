@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/result_cache.hpp"
 #include "core/sweep.hpp"
 #include "sim/platform.hpp"
 #include "sparse/collection.hpp"
@@ -49,12 +50,17 @@ const sparse::SyntheticCollection& small_suite() {
 TEST(SweepDeterminism, DenseSerialVsParallelBitIdentical) {
   WorkerGuard guard;
   const sim::Platform p = sim::broadwell(sim::EdramMode::kOn);
+  const core::DenseSweepRequest req{.kernel = core::KernelId::kGemm,
+                                    .n_lo = 256.0,
+                                    .n_hi = 8192.0,
+                                    .n_step = 512.0,
+                                    .nb_lo = 128.0,
+                                    .nb_hi = 4096.0,
+                                    .nb_step = 256.0};
   core::set_sweep_workers(0);
-  const auto serial = core::sweep_dense(p, core::KernelId::kGemm, 256.0, 8192.0, 512.0,
-                                        128.0, 4096.0, 256.0);
+  const auto serial = core::sweep_dense(p, req);
   core::set_sweep_workers(8);
-  const auto parallel = core::sweep_dense(p, core::KernelId::kGemm, 256.0, 8192.0, 512.0,
-                                          128.0, 4096.0, 256.0);
+  const auto parallel = core::sweep_dense(p, req);
   ASSERT_EQ(serial.size(), parallel.size());
   EXPECT_TRUE(serial == parallel);  // bit-identical, not approximately equal
 }
@@ -65,9 +71,9 @@ TEST(SweepDeterminism, SparseSerialVsParallelBitIdentical) {
   for (auto kernel :
        {core::KernelId::kSpmv, core::KernelId::kSptrans, core::KernelId::kSptrsv}) {
     core::set_sweep_workers(0);
-    const auto serial = core::sweep_sparse(p, kernel, small_suite());
+    const auto serial = core::sweep_sparse(p, {.kernel = kernel}, small_suite());
     core::set_sweep_workers(8);
-    const auto parallel = core::sweep_sparse(p, kernel, small_suite());
+    const auto parallel = core::sweep_sparse(p, {.kernel = kernel}, small_suite());
     ASSERT_EQ(serial.size(), small_suite().size());
     EXPECT_TRUE(serial == parallel) << "kernel " << core::to_string(kernel);
   }
@@ -76,12 +82,12 @@ TEST(SweepDeterminism, SparseSerialVsParallelBitIdentical) {
 TEST(SweepDeterminism, FootprintSerialVsParallelBitIdentical) {
   WorkerGuard guard;
   const sim::Platform p = sim::knl(sim::McdramMode::kCache);
+  const core::FootprintSweepRequest req{
+      .kernel = core::KernelId::kStream, .fp_lo = 16.0 * 1024, .fp_hi = 1e9, .points = 64};
   core::set_sweep_workers(0);
-  const auto serial =
-      core::sweep_footprint_kernel(p, core::KernelId::kStream, 16.0 * 1024, 1e9, 64);
+  const auto serial = core::sweep_footprint_kernel(p, req);
   core::set_sweep_workers(8);
-  const auto parallel =
-      core::sweep_footprint_kernel(p, core::KernelId::kStream, 16.0 * 1024, 1e9, 64);
+  const auto parallel = core::sweep_footprint_kernel(p, req);
   EXPECT_TRUE(serial == parallel);
 }
 
@@ -112,7 +118,7 @@ TEST(SweepStats, RecordsTopLevelSweep) {
   core::set_sweep_workers(2);
   core::drain_sweep_stats();
   const sim::Platform p = sim::knl(sim::McdramMode::kFlat);
-  core::sweep_sparse(p, core::KernelId::kSpmv, small_suite());
+  core::sweep_sparse(p, {.kernel = core::KernelId::kSpmv}, small_suite());
   const auto stats = core::drain_sweep_stats();
   ASSERT_EQ(stats.size(), 1u);
   const auto& s = stats[0];
@@ -137,7 +143,8 @@ TEST(SweepStats, SerialSweepRecordsWorkersZero) {
   core::set_sweep_workers(0);
   core::drain_sweep_stats();
   const sim::Platform p = sim::broadwell(sim::EdramMode::kOff);
-  core::sweep_footprint_kernel(p, core::KernelId::kStream, 1e6, 1e8, 16);
+  core::sweep_footprint_kernel(
+      p, {.kernel = core::KernelId::kStream, .fp_lo = 1e6, .fp_hi = 1e8, .points = 16});
   const auto stats = core::drain_sweep_stats();
   ASSERT_EQ(stats.size(), 1u);
   EXPECT_EQ(stats[0].workers, 0u);
@@ -169,15 +176,25 @@ TEST(SweepStats, CsvAndJsonEmission) {
   s.busy_seconds = 1.5;
   s.worker_busy_seconds = {0.5, 0.25, 0.5, 0.25, 0.0};
 
+  s.cache_hits = 1;
+  s.cache_bytes_loaded = 2048;
+  s.cache_source = "disk";
+
   std::ostringstream csv;
   core::write_sweep_stats_csv(csv, {s});
-  EXPECT_NE(csv.str().find("sweep,workers,items,tasks,steals,wall_s,busy_s,speedup_est"),
+  EXPECT_NE(csv.str().find("sweep,workers,items,tasks,steals,wall_s,busy_s,speedup_est,"
+                           "cache_hits,cache_misses,cache_loaded_b,cache_stored_b,cache_s,"
+                           "cache_src"),
             std::string::npos);
-  EXPECT_NE(csv.str().find("sweep_sparse:SpMV,4,968,121,17,0.5,1.5,3"), std::string::npos);
+  EXPECT_NE(csv.str().find("sweep_sparse:SpMV,4,968,121,17,0.5,1.5,3,1,0,2048,0,0,disk"),
+            std::string::npos);
 
   const std::string json = core::sweep_stats_json(s);
   EXPECT_NE(json.find("\"sweep\":\"sweep_sparse:SpMV\""), std::string::npos);
   EXPECT_NE(json.find("\"steals\":17"), std::string::npos);
+  EXPECT_NE(json.find("\"cache\":{\"hits\":1,\"misses\":0,\"loaded_b\":2048,\"stored_b\":0,"
+                      "\"seconds\":0,\"source\":\"disk\"}"),
+            std::string::npos);
   EXPECT_NE(json.find("\"worker_busy_s\":[0.5,0.25,0.5,0.25,0]"), std::string::npos);
   EXPECT_EQ(s.speedup_estimate(), 3.0);
 }
@@ -188,6 +205,65 @@ TEST(SweepStats, WorkerKnobRoundTrips) {
   EXPECT_EQ(core::sweep_workers(), 5u);
   core::set_sweep_workers(0);
   EXPECT_EQ(core::sweep_workers(), 0u);
+}
+
+// ------------------------------------------------------- cache concurrency --
+
+/// Restores the result-cache configuration (and clears the memory tier)
+/// on scope exit so cache tests cannot leak state into other suites.
+class CacheGuard {
+ public:
+  CacheGuard() : saved_(core::result_cache_config()) {}
+  ~CacheGuard() { core::configure_result_cache(saved_); }
+
+ private:
+  core::CacheConfig saved_;
+};
+
+TEST(SweepCache, ConcurrentMixedHitMissLookupsFromWorkers) {
+  WorkerGuard guard;
+  CacheGuard cache_guard;
+  const sim::Platform off = sim::broadwell(sim::EdramMode::kOff);
+
+  core::configure_result_cache({.enabled = false});
+  core::set_sweep_workers(4);
+  const auto reference = core::table4_edram(small_suite());
+
+  // Memory tier only: this test is about shard-table thread safety, not
+  // the disk format (tests/test_result_cache.cpp covers that).
+  core::configure_result_cache({.enabled = true, .disk = false});
+  core::reset_result_cache_stats();
+  // Pre-warm a minority of the per-kernel input keys, so the table-4 fan
+  // out below issues concurrent worker-side lookups that MIX hits (the
+  // warmed keys) and misses-then-stores (everything else).
+  for (auto k : {core::KernelId::kGemm, core::KernelId::kSpmv, core::KernelId::kStream})
+    core::table_inputs_gflops(off, k, small_suite());
+  const auto warmup = core::result_cache_stats();
+  EXPECT_GT(warmup.stores, 0u);
+
+  const auto cached = core::table4_edram(small_suite());
+  const auto stats = core::result_cache_stats();
+  EXPECT_GE(stats.memory_hits, 3u);        // the pre-warmed keys hit from workers
+  EXPECT_GT(stats.misses, warmup.misses);  // the cold keys missed concurrently
+  EXPECT_EQ(stats.faults(), 0u);
+  EXPECT_TRUE(reference == cached);  // hits are bit-identical to recompute
+}
+
+TEST(SweepCache, HitsAcrossWorkerCountsStayBitIdentical) {
+  WorkerGuard guard;
+  CacheGuard cache_guard;
+  core::configure_result_cache({.enabled = true, .disk = false});
+  const sim::Platform p = sim::knl(sim::McdramMode::kFlat);
+
+  core::set_sweep_workers(0);
+  const auto cold = core::sweep_sparse(p, {.kernel = core::KernelId::kSpmv}, small_suite());
+  // The key ignores the worker count — a warm lookup under any pool size
+  // returns the serial run's exact bytes.
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    core::set_sweep_workers(workers);
+    const auto warm = core::sweep_sparse(p, {.kernel = core::KernelId::kSpmv}, small_suite());
+    EXPECT_TRUE(cold == warm) << "workers " << workers;
+  }
 }
 
 // ----------------------------------------------- pool edge cases & stress --
