@@ -14,21 +14,7 @@
 namespace opm::bench {
 
 core::SweepConfig init(int argc, const char* const* argv) {
-  core::SweepConfig cfg = core::apply_env(core::default_sweep_config());
-  const util::Cli cli(argc, argv);
-  if (cli.has("sweep-workers")) {
-    const std::int64_t n = cli.get_int("sweep-workers", -1);
-    if (n >= 0) cfg.workers = static_cast<std::size_t>(n);
-  }
-  if (cli.has("cache-dir")) {
-    const std::string dir = cli.get("cache-dir", cfg.cache.dir);
-    if (!dir.empty()) {
-      cfg.cache.dir = dir;
-      cfg.cache.enabled = true;
-    }
-  }
-  if (cli.has("no-cache")) cfg.cache.enabled = false;
-  if (cli.has("no-sweep-stats")) cfg.telemetry = false;
+  const core::SweepConfig cfg = core::resolve_sweep_config(argc, argv);
   core::apply_sweep_config(cfg);
   return cfg;
 }
@@ -192,15 +178,8 @@ void print_sweep_stats(const std::string& label) {
   std::cout << "\ncsv:" << label << "_sweep_stats\n";
   core::write_sweep_stats_csv(std::cout, stats);
   for (const auto& s : stats) std::cout << "json:" << core::sweep_stats_json(s) << "\n";
-  if (core::ResultCache::instance().enabled()) {
-    const core::CacheStats c = core::result_cache_stats();
-    std::cout << "json:{\"cache_totals\":{\"memory_hits\":" << c.memory_hits
-              << ",\"disk_hits\":" << c.disk_hits << ",\"misses\":" << c.misses
-              << ",\"stores\":" << c.stores << ",\"bytes_loaded\":" << c.bytes_loaded
-              << ",\"bytes_stored\":" << c.bytes_stored << ",\"faults\":" << c.faults()
-              << ",\"lookup_s\":" << c.lookup_seconds << ",\"store_s\":" << c.store_seconds
-              << "}}\n";
-  }
+  if (core::ResultCache::instance().enabled())
+    std::cout << "json:" << core::cache_totals_json() << "\n";
 }
 
 }  // namespace opm::bench

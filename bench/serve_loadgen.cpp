@@ -1,0 +1,439 @@
+// Load generator and acceptance harness for opm_serve.
+//
+// Default (argument-free) mode is fully self-contained and quick: it
+// starts an in-process serve::Server on a private socket with a scratch
+// cache directory, replays a duplicate-heavy request trace from N
+// concurrent client connections, and FAILS (nonzero exit) unless
+//
+//   1. every served payload is byte-identical to the offline library
+//      output (protocol::execute) for the same request,
+//   2. the server computed at least `dup` times fewer sweeps than it
+//      served — proven by the cache.misses delta between two over-the-wire
+//      "stats" requests, not by trusting this process's globals, and
+//   3. a deliberately overloaded dispatcher (queue_depth=1, workers=1)
+//      answers the overflow with structured "overload" rejections carrying
+//      retry_after_ms > 0, while still answering everything exactly once.
+//
+// With --socket=PATH it targets an external server instead (gates 1 and 2
+// still apply; the overload probe is skipped since it is in-process by
+// nature). --tolerant downgrades rejected/failed responses from fatal to
+// counted — the CI drain test fires SIGTERM mid-load and only cares that
+// the server answers every request with *something* structured.
+//
+//   serve_loadgen [--socket=PATH] [--clients=8] [--dup=4] [--tolerant]
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace opm;
+namespace protocol = opm::serve::protocol;
+
+/// Blocking newline-framed client over a Unix socket.
+struct SocketClient {
+  int fd = -1;
+  std::string buf;
+
+  bool connect_to(const std::string& path) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+      return false;
+    }
+    return true;
+  }
+
+  bool send_line(std::string line) {
+    line.push_back('\n');
+    const char* p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool recv_line(std::string* line) {
+    for (;;) {
+      const std::size_t pos = buf.find('\n');
+      if (pos != std::string::npos) {
+        line->assign(buf, 0, pos);
+        buf.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  ~SocketClient() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// The unique request trace: a cross-section of types and platforms,
+/// each small enough that the argument-free run stays quick.
+std::vector<std::string> unique_request_lines() {
+  return {
+      R"({"type":"dense","platform":"broadwell-edram-on","kernel":"gemm",)"
+      R"("n_lo":256,"n_hi":2048,"n_step":256,"nb_lo":128,"nb_hi":1024,"nb_step":128})",
+      R"({"type":"dense","platform":"broadwell-edram-off","kernel":"cholesky",)"
+      R"("n_lo":256,"n_hi":2048,"n_step":256,"nb_lo":128,"nb_hi":1024,"nb_step":128})",
+      R"({"type":"dense","platform":"knl-flat","kernel":"gemm",)"
+      R"("n_lo":512,"n_hi":4096,"n_step":512,"nb_lo":256,"nb_hi":2048,"nb_step":256})",
+      R"({"type":"dense","platform":"knl-cache","kernel":"cholesky",)"
+      R"("n_lo":512,"n_hi":4096,"n_step":512,"nb_lo":256,"nb_hi":2048,"nb_step":256})",
+      R"({"type":"footprint","platform":"broadwell-edram-on","kernel":"stream",)"
+      R"("fp_lo":16384,"fp_hi":16777216,"points":24})",
+      R"({"type":"footprint","platform":"knl-cache","kernel":"stencil",)"
+      R"("fp_lo":16384,"fp_hi":16777216,"points":24})",
+      R"({"type":"footprint","platform":"knl-ddr","kernel":"fft",)"
+      R"("fp_lo":65536,"fp_hi":67108864,"points":24})",
+      R"({"type":"footprint","platform":"knl-hybrid","kernel":"stream",)"
+      R"("fp_lo":65536,"fp_hi":67108864,"points":24})",
+      R"({"type":"sparse","platform":"broadwell-edram-on","kernel":"spmv"})",
+      R"({"type":"sparse","platform":"knl-flat","kernel":"spmv"})",
+      R"({"type":"sparse","platform":"knl-cache","kernel":"sptrans","merge_based":true})",
+      R"({"type":"sparse","platform":"broadwell-edram-off","kernel":"sptrsv"})",
+  };
+}
+
+/// Splices `"id":"..."` into a request line (all trace lines are objects).
+std::string with_id(const std::string& line, const std::string& id) {
+  return "{\"id\":\"" + id + "\"," + line.substr(1);
+}
+
+/// Extracts a named integer counter from the nested stats envelope.
+std::uint64_t stats_counter(const util::JsonValue& envelope, const char* group,
+                            const char* name) {
+  const util::JsonValue* stats = envelope.find("stats");
+  if (!stats) return 0;
+  const util::JsonValue* g = stats->find(group);
+  if (!g) return 0;
+  const util::JsonValue* v = g->find(name);
+  return v && v->is_number() ? static_cast<std::uint64_t>(v->number) : 0;
+}
+
+bool fetch_stats(const std::string& socket_path, util::JsonValue* out) {
+  SocketClient c;
+  if (!c.connect_to(socket_path)) return false;
+  if (!c.send_line(R"({"type":"stats","id":"loadgen-stats"})")) return false;
+  std::string line;
+  if (!c.recv_line(&line)) return false;
+  auto doc = util::parse_json(line);
+  if (!doc) return false;
+  *out = std::move(*doc);
+  return true;
+}
+
+struct ClientResult {
+  std::vector<std::pair<std::size_t, std::string>> payloads;  // (unique idx, payload)
+  std::vector<double> latencies_ms;
+  int rejected = 0;
+  int failed = 0;
+};
+
+/// In-process overload probe: queue_depth=1 and one worker guarantee the
+/// burst outruns the dispatcher. Returns true when >= 1 structured
+/// overload rejection (retry_after_ms > 0) arrived and all submits were
+/// answered exactly once.
+bool overload_probe() {
+  serve::DispatchConfig cfg;
+  cfg.queue_depth = 1;
+  cfg.workers = 1;
+  cfg.retry_after_ms = 25;
+  serve::Dispatcher dispatcher(cfg);
+
+  // A dense grid big enough (~31k points) that the worker is still on
+  // submit #1 while the burst lands.
+  protocol::Request req;
+  protocol::Error err;
+  const std::string line =
+      R"({"type":"dense","platform":"knl-flat","kernel":"gemm",)"
+      R"("n_lo":256,"n_hi":8192,"n_step":32,"nb_lo":128,"nb_hi":4096,"nb_step":32})";
+  if (!protocol::parse_request(line, &req, &err)) {
+    std::cout << "overload probe: bad probe request: " << err.message << "\n";
+    return false;
+  }
+
+  std::mutex mutex;
+  std::vector<std::string> responses;
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    protocol::Request copy = req;
+    copy.id = "burst-" + std::to_string(i);
+    dispatcher.submit(/*client=*/1, std::move(copy), [&](std::string r) {
+      std::lock_guard lock(mutex);
+      responses.push_back(std::move(r));
+    });
+  }
+  dispatcher.drain();  // every admitted request answered before return
+
+  int ok = 0, overload = 0, other = 0;
+  for (const auto& r : responses) {
+    const auto doc = util::parse_json(r);
+    if (!doc) return false;
+    const util::JsonValue* okv = doc->find("ok");
+    if (okv && okv->is_bool() && okv->boolean) {
+      ++ok;
+      continue;
+    }
+    const util::JsonValue* e = doc->find("error");
+    const util::JsonValue* cat = e ? e->find("category") : nullptr;
+    const util::JsonValue* retry = e ? e->find("retry_after_ms") : nullptr;
+    if (cat && cat->is_string() && cat->string == "overload" && retry && retry->is_number() &&
+        retry->number > 0) {
+      ++overload;
+    } else {
+      ++other;
+    }
+  }
+  std::cout << "overload probe: burst=" << kBurst << " ok=" << ok << " overload=" << overload
+            << " other=" << other << "\n";
+  return static_cast<int>(responses.size()) == kBurst && overload >= 1 && other == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  core::SweepConfig cfg = bench::init(argc, argv);
+  const util::Cli cli(argc, argv);
+  bench::banner("serve_loadgen", "multi-client sweep-service load and acceptance harness");
+
+  const std::size_t clients = static_cast<std::size_t>(cli.get_int("clients", 8));
+  const std::size_t dup = static_cast<std::size_t>(cli.get_int("dup", 4));
+  const bool tolerant = cli.has("tolerant");
+  const bool external = cli.has("socket");
+
+  std::string socket_path = cli.get("socket", "");
+  std::unique_ptr<serve::Server> server;
+  if (!external) {
+    // Self-contained mode: private socket, scratch cache wiped up front so
+    // the cold-compute count is deterministic.
+    cfg.cache.enabled = true;
+    cfg.cache.disk = true;
+    cfg.cache.dir = (fs::path(cfg.cache.dir) / "serve_loadgen").string();
+    std::error_code ec;
+    fs::remove_all(cfg.cache.dir, ec);
+    core::configure_result_cache(cfg.cache);
+    core::reset_result_cache_stats();
+
+    socket_path = "serve-loadgen-" + std::to_string(::getpid()) + ".sock";
+    serve::ServerConfig sc;
+    sc.socket_path = socket_path;
+    sc.dispatch.queue_depth = 256;  // the load phase measures coalescing, not admission
+    sc.dispatch.workers = 4;
+    server = std::make_unique<serve::Server>(sc);
+    std::string error;
+    if (!server->start(&error)) {
+      std::cout << "serve_loadgen: FAIL — cannot start in-process server: " << error << "\n";
+      return 1;
+    }
+  }
+
+  // ---- the trace: every unique request, duplicated, dealt round-robin ----
+  const std::vector<std::string> uniques = unique_request_lines();
+  std::vector<std::size_t> trace;  // indices into uniques
+  for (std::size_t d = 0; d < dup; ++d)
+    for (std::size_t u = 0; u < uniques.size(); ++u) trace.push_back(u);
+  // Deterministic shuffle (LCG) so concurrent clients hold different mixes
+  // of the same uniques — the duplicate pressure that drives coalescing.
+  std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+  for (std::size_t i = trace.size(); i > 1; --i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    std::swap(trace[i - 1], trace[(lcg >> 33) % i]);
+  }
+  std::vector<std::vector<std::size_t>> per_client(clients);
+  for (std::size_t i = 0; i < trace.size(); ++i) per_client[i % clients].push_back(trace[i]);
+
+  util::JsonValue stats_before;
+  const bool have_stats_before = fetch_stats(socket_path, &stats_before);
+
+  // ---- load phase ----
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientResult& res = results[c];
+      SocketClient sock;
+      if (!sock.connect_to(socket_path)) {
+        res.failed = static_cast<int>(per_client[c].size());
+        return;
+      }
+      for (std::size_t i = 0; i < per_client[c].size(); ++i) {
+        const std::size_t u = per_client[c][i];
+        const std::string id = "c" + std::to_string(c) + "-r" + std::to_string(i);
+        const auto r0 = std::chrono::steady_clock::now();
+        std::string line;
+        if (!sock.send_line(with_id(uniques[u], id)) || !sock.recv_line(&line)) {
+          ++res.failed;
+          return;  // connection is gone; remaining requests count as failed
+        }
+        res.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - r0)
+                .count());
+        const auto doc = util::parse_json(line);
+        const util::JsonValue* ok = doc ? doc->find("ok") : nullptr;
+        if (!doc || !ok || !ok->is_bool()) {
+          ++res.failed;
+          continue;
+        }
+        if (!ok->boolean) {
+          ++res.rejected;
+          continue;
+        }
+        const util::JsonValue* payload = doc->find("payload");
+        if (!payload || !payload->is_string()) {
+          ++res.failed;
+          continue;
+        }
+        res.payloads.emplace_back(u, payload->string);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  util::JsonValue stats_after;
+  const bool have_stats_after = fetch_stats(socket_path, &stats_after);
+
+  // ---- report ----
+  std::size_t served = 0, rejected = 0, failed = 0;
+  std::vector<double> latencies;
+  for (const auto& r : results) {
+    served += r.payloads.size();
+    rejected += static_cast<std::size_t>(r.rejected);
+    failed += static_cast<std::size_t>(r.failed);
+    latencies.insert(latencies.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  std::cout << "\nclients " << clients << ", unique requests " << uniques.size()
+            << ", duplication x" << dup << ", trace " << trace.size() << " requests\n";
+  std::cout << "served " << served << ", rejected " << rejected << ", failed " << failed
+            << " in " << util::format_fixed(wall_s, 3) << " s  ("
+            << util::format_fixed(static_cast<double>(served) / std::max(wall_s, 1e-9), 1)
+            << " req/s)\n";
+  if (!latencies.empty()) {
+    std::cout << "latency ms: p50 " << util::format_fixed(util::percentile(latencies, 50), 2)
+              << "  p90 " << util::format_fixed(util::percentile(latencies, 90), 2)
+              << "  p99 " << util::format_fixed(util::percentile(latencies, 99), 2) << "\n";
+  }
+
+  bool pass = true;
+
+  // Gate 1: byte-identity of every served payload against the offline
+  // library output for the same request line.
+  std::vector<std::string> offline(uniques.size());
+  for (std::size_t u = 0; u < uniques.size(); ++u) {
+    protocol::Request req;
+    protocol::Error err;
+    if (!protocol::parse_request(uniques[u], &req, &err)) {
+      std::cout << "FAIL — unique request " << u << " does not parse: " << err.message << "\n";
+      return 1;
+    }
+    offline[u] = protocol::execute(req);
+  }
+  std::size_t mismatches = 0;
+  for (const auto& r : results)
+    for (const auto& [u, payload] : r.payloads)
+      if (payload != offline[u]) ++mismatches;
+  if (mismatches == 0) {
+    std::cout << "gate 1 PASS — " << served << " served payloads byte-identical to offline\n";
+  } else {
+    std::cout << "gate 1 FAIL — " << mismatches << " served payloads differ from offline\n";
+    pass = false;
+  }
+
+  // Gate 2: the server computed >= dup times fewer sweeps than it served.
+  // cache.misses counts actual cold computations; coalesced and cached
+  // duplicates never miss.
+  if (have_stats_before && have_stats_after) {
+    const std::uint64_t misses = stats_counter(stats_after, "cache", "cache.misses") -
+                                 stats_counter(stats_before, "cache", "cache.misses");
+    const std::uint64_t coalesced =
+        stats_counter(stats_after, "serve", "serve.coalesce_hits") -
+        stats_counter(stats_before, "serve", "serve.coalesce_hits");
+    const std::uint64_t mem_hits = stats_counter(stats_after, "cache", "cache.memory_hits") -
+                                   stats_counter(stats_before, "cache", "cache.memory_hits");
+    std::cout << "server counters: computed(misses) " << misses << ", coalesce_hits "
+              << coalesced << ", memory_hits " << mem_hits << "\n";
+    if (misses * dup <= served && misses > 0) {
+      std::cout << "gate 2 PASS — " << served << " served / " << misses
+                << " computed >= x" << dup << " deduplication\n";
+    } else if (tolerant) {
+      std::cout << "gate 2 skipped (tolerant)\n";
+    } else {
+      std::cout << "gate 2 FAIL — computed " << misses << " sweeps for " << served
+                << " served (need served >= " << dup << " * computed)\n";
+      pass = false;
+    }
+  } else if (!tolerant) {
+    std::cout << "gate 2 FAIL — could not fetch server stats\n";
+    pass = false;
+  }
+
+  if (!tolerant && (rejected > 0 || failed > 0)) {
+    std::cout << "FAIL — " << rejected << " rejections / " << failed
+              << " failures in a run that allows none\n";
+    pass = false;
+  }
+  if (tolerant && (rejected > 0 || failed > 0))
+    std::cout << "tolerant mode: " << rejected << " rejections / " << failed
+              << " failures accepted\n";
+
+  if (server) {
+    server->request_drain();
+    server->wait();
+    server.reset();
+
+    // Gate 3: admission control under deliberate overload.
+    if (overload_probe()) {
+      std::cout << "gate 3 PASS — overload answered with structured retryable rejections\n";
+    } else {
+      std::cout << "gate 3 FAIL — no structured overload rejection observed\n";
+      pass = false;
+    }
+  }
+
+  std::cout << (pass ? "\nserve_loadgen: all gates PASS\n" : "\nserve_loadgen: FAIL\n");
+  return pass ? 0 : 1;
+}

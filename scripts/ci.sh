@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Sanitizer + cache CI for the tier-1 test suite.
+# Sanitizer + cache + serve CI for the tier-1 test suite.
 #
-#   ./scripts/ci.sh [thread|address|cache|all]     (default: all)
+#   ./scripts/ci.sh [thread|address|cache|serve|all]     (default: all)
 #
 # Builds the full test suite with -DOPM_SANITIZE=<mode> into its own build
 # tree (build-tsan / build-asan) and runs ctest. TSan is what guards the
@@ -16,6 +16,12 @@
 # twice against a scratch cache dir — once cold, once warm — with
 # telemetry muted, and diffs the outputs byte for byte. Warm results that
 # differ in any byte fail CI.
+#
+# The serve job exercises opm_serve end to end: the self-contained
+# serve_loadgen gates (byte-identity vs offline, >= 4x request
+# deduplication, structured overload rejections), the same gates against
+# an external server over its Unix socket, and a SIGTERM mid-load that
+# must drain gracefully — exit 0, no orphaned socket file.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -60,14 +66,56 @@ run_cache() {
   "$root/$dir/bench/cache_effectiveness" --cache-dir="$scratch"
 }
 
+run_serve() {
+  local dir="build-serve"
+  echo "== [serve] configure & build ($dir)"
+  cmake -B "$root/$dir" -G Ninja -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$root/$dir" --target opm_serve serve_loadgen
+  local scratch="$root/$dir/serve-ci-scratch"
+  rm -rf "$scratch" "$scratch-ext"
+  echo "== [serve] self-contained gates (byte-identity, coalescing, overload)"
+  (cd "$root/$dir" && ./bench/serve_loadgen --cache-dir="$scratch")
+  echo "== [serve] external server: duplicate-heavy load over the socket"
+  local sock="$root/$dir/opm-serve-ci.sock"
+  "$root/$dir/serve/opm_serve" --socket="$sock" --cache-dir="$scratch-ext" \
+      --no-sweep-stats &
+  local server_pid=$!
+  for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+  if ! [ -S "$sock" ]; then
+    echo "ci: FAIL — opm_serve socket never appeared" >&2
+    exit 1
+  fi
+  (cd "$root/$dir" && ./bench/serve_loadgen --socket="$sock")
+  echo "== [serve] SIGTERM mid-load must drain cleanly"
+  (cd "$root/$dir" && ./bench/serve_loadgen --socket="$sock" --tolerant --dup=8) &
+  local load_pid=$!
+  sleep 0.3
+  kill -TERM "$server_pid"
+  local server_rc=0
+  wait "$server_pid" || server_rc=$?
+  wait "$load_pid" || true  # tolerant: draining rejections and cut streams are expected
+  if [ "$server_rc" -ne 0 ]; then
+    echo "ci: FAIL — opm_serve exited $server_rc after SIGTERM (want 0)" >&2
+    exit 1
+  fi
+  if [ -e "$sock" ]; then
+    echo "ci: FAIL — orphaned socket file left after drain" >&2
+    exit 1
+  fi
+  echo "   opm_serve drained: exit 0, socket removed"
+}
+
 case "$mode" in
   thread)  run_one thread build-tsan ;;
   address) run_one address build-asan ;;
   cache)   run_cache ;;
+  serve)   run_serve ;;
   all)     run_one thread build-tsan
            run_one address build-asan
-           run_cache ;;
-  *) echo "usage: $0 [thread|address|cache|all]" >&2; exit 2 ;;
+           run_cache
+           run_serve ;;
+  *) echo "usage: $0 [thread|address|cache|serve|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: suite(s) green"

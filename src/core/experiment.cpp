@@ -243,35 +243,6 @@ std::vector<SweepPoint> sweep_footprint_kernel(const sim::Platform& platform,
   });
 }
 
-// ------------------------------------------------------------------- shims --
-
-std::vector<SweepPoint> sweep_dense(const sim::Platform& platform, KernelId kernel,
-                                    double n_lo, double n_hi, double n_step, double nb_lo,
-                                    double nb_hi, double nb_step) {
-  return sweep_dense(platform, DenseSweepRequest{.kernel = kernel,
-                                                 .n_lo = n_lo,
-                                                 .n_hi = n_hi,
-                                                 .n_step = n_step,
-                                                 .nb_lo = nb_lo,
-                                                 .nb_hi = nb_hi,
-                                                 .nb_step = nb_step});
-}
-
-std::vector<SweepPoint> sweep_sparse(const sim::Platform& platform, KernelId kernel,
-                                     const sparse::SyntheticCollection& suite,
-                                     bool merge_based) {
-  return sweep_sparse(platform, SparseSweepRequest{.kernel = kernel, .merge_based = merge_based},
-                      suite);
-}
-
-std::vector<SweepPoint> sweep_footprint_kernel(const sim::Platform& platform, KernelId kernel,
-                                               double fp_lo, double fp_hi,
-                                               std::size_t points) {
-  return sweep_footprint_kernel(
-      platform,
-      FootprintSweepRequest{.kernel = kernel, .fp_lo = fp_lo, .fp_hi = fp_hi, .points = points});
-}
-
 // ------------------------------------------------------------------ tables --
 
 std::vector<double> table_inputs_gflops(const sim::Platform& platform, KernelId kernel,

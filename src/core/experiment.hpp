@@ -49,8 +49,7 @@ struct SweepPoint {
 // defaults matching the paper's appendix A.2 configuration, operator==,
 // and a stable canonical serialization — so each struct, combined with the
 // platform (and suite) fingerprints and the cache version, IS the
-// result-cache key. The old positional overloads survive one release as
-// [[deprecated]] shims.
+// result-cache key.
 
 /// Dense (n, nb) grid sweep request for GEMM or Cholesky. Defaults are the
 /// appendix A.2.1 Broadwell grid; KNL harnesses widen to n_hi = 32000.
@@ -119,23 +118,6 @@ std::vector<SweepPoint> sweep_sparse(const sim::Platform& platform,
 /// Footprint sweep for Stream / Stencil / FFT.
 std::vector<SweepPoint> sweep_footprint_kernel(const sim::Platform& platform,
                                                const FootprintSweepRequest& req);
-
-// Positional shims, kept for one release so downstream branches migrate
-// smoothly. No caller remains in this repo.
-
-[[deprecated("use sweep_dense(platform, DenseSweepRequest{...})")]]
-std::vector<SweepPoint> sweep_dense(const sim::Platform& platform, KernelId kernel,
-                                    double n_lo, double n_hi, double n_step, double nb_lo,
-                                    double nb_hi, double nb_step);
-
-[[deprecated("use sweep_sparse(platform, SparseSweepRequest{...}, suite)")]]
-std::vector<SweepPoint> sweep_sparse(const sim::Platform& platform, KernelId kernel,
-                                     const sparse::SyntheticCollection& suite,
-                                     bool merge_based = false);
-
-[[deprecated("use sweep_footprint_kernel(platform, FootprintSweepRequest{...})")]]
-std::vector<SweepPoint> sweep_footprint_kernel(const sim::Platform& platform, KernelId kernel,
-                                               double fp_lo, double fp_hi, std::size_t points);
 
 /// The canonical per-kernel input set for the summary tables: returns the
 /// predicted GFlop/s for every input of `kernel` on `platform` (paired

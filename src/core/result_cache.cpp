@@ -6,8 +6,11 @@
 #include <fstream>
 #include <list>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
+
+#include "util/metrics.hpp"
 
 namespace opm::core {
 
@@ -80,12 +83,23 @@ struct ResultCache::Impl {
   std::atomic<std::size_t> per_shard_cap{4096 / kShards};
   Shard shards[kShards];
 
-  // Stats (atomics: lookups run concurrently on sweep workers).
-  std::atomic<std::size_t> memory_hits{0}, disk_hits{0}, misses{0}, stores{0};
-  std::atomic<std::size_t> bytes_loaded{0}, bytes_stored{0};
-  std::atomic<std::size_t> corrupt_records{0}, version_skew{0}, type_mismatch{0},
-      io_errors{0};
-  std::atomic<double> lookup_seconds{0.0}, store_seconds{0.0};
+  // Stats live in the process-wide metrics registry ("cache.*" names) so
+  // every reporting surface — bench stats blocks, the opm_serve stats
+  // request — reads the same counters. The references resolve once here
+  // and are lock-free to bump (lookups run concurrently on sweep workers).
+  util::MetricsRegistry& registry = util::MetricsRegistry::instance();
+  util::Counter& memory_hits = registry.counter("cache.memory_hits");
+  util::Counter& disk_hits = registry.counter("cache.disk_hits");
+  util::Counter& misses = registry.counter("cache.misses");
+  util::Counter& stores = registry.counter("cache.stores");
+  util::Counter& bytes_loaded = registry.counter("cache.bytes_loaded");
+  util::Counter& bytes_stored = registry.counter("cache.bytes_stored");
+  util::Counter& corrupt_records = registry.counter("cache.corrupt_records");
+  util::Counter& version_skew = registry.counter("cache.version_skew");
+  util::Counter& type_mismatch = registry.counter("cache.type_mismatch");
+  util::Counter& io_errors = registry.counter("cache.io_errors");
+  util::DoubleCounter& lookup_seconds = registry.double_counter("cache.lookup_seconds");
+  util::DoubleCounter& store_seconds = registry.double_counter("cache.store_seconds");
   std::atomic<std::uint64_t> tmp_counter{0};
 
   Shard& shard(const util::Digest128& key) { return shards[key.lo % kShards]; }
@@ -244,34 +258,23 @@ bool ResultCache::enabled() const {
 
 CacheStats ResultCache::stats() const {
   CacheStats s;
-  s.memory_hits = impl_->memory_hits.load();
-  s.disk_hits = impl_->disk_hits.load();
-  s.misses = impl_->misses.load();
-  s.stores = impl_->stores.load();
-  s.bytes_loaded = impl_->bytes_loaded.load();
-  s.bytes_stored = impl_->bytes_stored.load();
-  s.corrupt_records = impl_->corrupt_records.load();
-  s.version_skew = impl_->version_skew.load();
-  s.type_mismatch = impl_->type_mismatch.load();
-  s.io_errors = impl_->io_errors.load();
-  s.lookup_seconds = impl_->lookup_seconds.load();
-  s.store_seconds = impl_->store_seconds.load();
+  s.memory_hits = impl_->memory_hits.value();
+  s.disk_hits = impl_->disk_hits.value();
+  s.misses = impl_->misses.value();
+  s.stores = impl_->stores.value();
+  s.bytes_loaded = impl_->bytes_loaded.value();
+  s.bytes_stored = impl_->bytes_stored.value();
+  s.corrupt_records = impl_->corrupt_records.value();
+  s.version_skew = impl_->version_skew.value();
+  s.type_mismatch = impl_->type_mismatch.value();
+  s.io_errors = impl_->io_errors.value();
+  s.lookup_seconds = impl_->lookup_seconds.value();
+  s.store_seconds = impl_->store_seconds.value();
   return s;
 }
 
 void ResultCache::reset_stats() {
-  impl_->memory_hits = 0;
-  impl_->disk_hits = 0;
-  impl_->misses = 0;
-  impl_->stores = 0;
-  impl_->bytes_loaded = 0;
-  impl_->bytes_stored = 0;
-  impl_->corrupt_records = 0;
-  impl_->version_skew = 0;
-  impl_->type_mismatch = 0;
-  impl_->io_errors = 0;
-  impl_->lookup_seconds = 0.0;
-  impl_->store_seconds = 0.0;
+  impl_->registry.reset("cache.");
 }
 
 void ResultCache::clear_memory() {
@@ -295,7 +298,7 @@ std::optional<std::vector<std::byte>> ResultCache::find_bytes(const util::Digest
 
   std::optional<std::vector<std::byte>> result;
   if (auto mem = impl_->memory_find(key, elem_size)) {
-    impl_->memory_hits.fetch_add(1, std::memory_order_relaxed);
+    impl_->memory_hits.add(1);
     p.hit = true;
     p.source = "memory";
     p.bytes_loaded = mem->size();
@@ -307,7 +310,7 @@ std::optional<std::vector<std::byte>> ResultCache::find_bytes(const util::Digest
     if (cfg.disk) outcome = impl_->disk_read(cfg, key, elem_size, payload);
     switch (outcome) {
       case ReadOutcome::kOk:
-        impl_->disk_hits.fetch_add(1, std::memory_order_relaxed);
+        impl_->disk_hits.add(1);
         p.hit = true;
         p.source = "disk";
         p.bytes_loaded = payload.size();
@@ -318,29 +321,29 @@ std::optional<std::vector<std::byte>> ResultCache::find_bytes(const util::Digest
         p.source = "cold";
         break;
       case ReadOutcome::kCorrupt:
-        impl_->corrupt_records.fetch_add(1, std::memory_order_relaxed);
+        impl_->corrupt_records.add(1);
         p.source = "corrupt";
         break;
       case ReadOutcome::kVersionSkew:
-        impl_->version_skew.fetch_add(1, std::memory_order_relaxed);
+        impl_->version_skew.add(1);
         p.source = "version-skew";
         break;
       case ReadOutcome::kTypeMismatch:
-        impl_->type_mismatch.fetch_add(1, std::memory_order_relaxed);
+        impl_->type_mismatch.add(1);
         p.source = "type-mismatch";
         break;
       case ReadOutcome::kIoError:
-        impl_->io_errors.fetch_add(1, std::memory_order_relaxed);
+        impl_->io_errors.add(1);
         p.source = "io-error";
         break;
     }
-    if (!p.hit) impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    if (!p.hit) impl_->misses.add(1);
   }
 
   p.lookup_seconds = seconds_since(t0);
-  impl_->lookup_seconds.fetch_add(p.lookup_seconds, std::memory_order_relaxed);
+  impl_->lookup_seconds.add(p.lookup_seconds);
   if (p.hit)
-    impl_->bytes_loaded.fetch_add(p.bytes_loaded, std::memory_order_relaxed);
+    impl_->bytes_loaded.add(p.bytes_loaded);
   return result;
 }
 
@@ -354,14 +357,14 @@ bool ResultCache::store_bytes(const util::Digest128& key, std::size_t elem_size,
   if (cfg.disk) {
     disk_ok = impl_->disk_write(cfg, key, elem_size, payload);
     if (disk_ok)
-      impl_->bytes_stored.fetch_add(payload_bytes, std::memory_order_relaxed);
+      impl_->bytes_stored.add(payload_bytes);
     else
-      impl_->io_errors.fetch_add(1, std::memory_order_relaxed);
+      impl_->io_errors.add(1);
   }
   impl_->memory_store(key, elem_size, std::move(payload));
-  impl_->stores.fetch_add(1, std::memory_order_relaxed);
+  impl_->stores.add(1);
   const double dt = seconds_since(t0);
-  impl_->store_seconds.fetch_add(dt, std::memory_order_relaxed);
+  impl_->store_seconds.add(dt);
   if (probe) {
     probe->store_seconds = dt;
     probe->bytes_stored = disk_ok && cfg.disk ? payload_bytes : 0;
@@ -378,5 +381,17 @@ CacheConfig result_cache_config() { return ResultCache::instance().config(); }
 CacheStats result_cache_stats() { return ResultCache::instance().stats(); }
 
 void reset_result_cache_stats() { ResultCache::instance().reset_stats(); }
+
+std::string cache_totals_json() {
+  const CacheStats c = result_cache_stats();
+  std::ostringstream os;
+  os << "{\"cache_totals\":{\"memory_hits\":" << c.memory_hits
+     << ",\"disk_hits\":" << c.disk_hits << ",\"misses\":" << c.misses
+     << ",\"stores\":" << c.stores << ",\"bytes_loaded\":" << c.bytes_loaded
+     << ",\"bytes_stored\":" << c.bytes_stored << ",\"faults\":" << c.faults()
+     << ",\"lookup_s\":" << c.lookup_seconds << ",\"store_s\":" << c.store_seconds
+     << "}}";
+  return os.str();
+}
 
 }  // namespace opm::core

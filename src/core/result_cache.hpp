@@ -154,4 +154,11 @@ CacheConfig result_cache_config();
 CacheStats result_cache_stats();
 void reset_result_cache_stats();
 
+/// The process-wide cache totals as one JSON line payload:
+/// {"cache_totals":{"memory_hits":N,...}}. The counters live in the
+/// util::MetricsRegistry (names "cache.*"), so the bench harness stats
+/// block and the opm_serve "stats" request render the same numbers through
+/// this one code path.
+std::string cache_totals_json();
+
 }  // namespace opm::core

@@ -1,0 +1,98 @@
+#include "core/single_flight.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace opm::core {
+
+struct SingleFlight::Flight {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;       // guarded by mutex
+  Payload payload;         // set before done; nullptr = failed
+};
+
+namespace {
+struct DigestHash {
+  std::size_t operator()(const util::Digest128& d) const {
+    return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+}  // namespace
+
+struct SingleFlight::Impl {
+  std::mutex mutex;  // guards the key table
+  std::unordered_map<util::Digest128, std::shared_ptr<Flight>, DigestHash> flights;
+
+  std::atomic<std::uint64_t> begun{0}, coalesced{0}, failures{0};
+
+  /// Retires `flight`'s key (if it is still the registered flight) and
+  /// publishes the outcome to every waiter.
+  void finish(const std::shared_ptr<Flight>& flight, Payload payload) {
+    {
+      std::lock_guard lock(mutex);
+      for (auto it = flights.begin(); it != flights.end(); ++it) {
+        if (it->second == flight) {
+          flights.erase(it);
+          break;
+        }
+      }
+    }
+    {
+      std::lock_guard lock(flight->mutex);
+      flight->payload = std::move(payload);
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+  }
+};
+
+SingleFlight::SingleFlight() : impl_(new Impl) {}
+SingleFlight::~SingleFlight() { delete impl_; }
+
+std::shared_ptr<SingleFlight::Flight> SingleFlight::try_begin(const util::Digest128& key,
+                                                              bool* leader) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->flights.find(key);
+  if (it != impl_->flights.end()) {
+    if (leader) *leader = false;
+    impl_->coalesced.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  auto flight = std::make_shared<Flight>();
+  impl_->flights.emplace(key, flight);
+  impl_->begun.fetch_add(1, std::memory_order_relaxed);
+  if (leader) *leader = true;
+  return flight;
+}
+
+SingleFlight::Payload SingleFlight::share(const std::shared_ptr<Flight>& flight) {
+  std::unique_lock lock(flight->mutex);
+  flight->cv.wait(lock, [&] { return flight->done; });
+  return flight->payload;
+}
+
+void SingleFlight::complete(const std::shared_ptr<Flight>& flight, Payload payload) {
+  impl_->finish(flight, std::move(payload));
+}
+
+void SingleFlight::fail(const std::shared_ptr<Flight>& flight) {
+  impl_->failures.fetch_add(1, std::memory_order_relaxed);
+  impl_->finish(flight, nullptr);
+}
+
+SingleFlight::Stats SingleFlight::stats() const {
+  return {impl_->begun.load(std::memory_order_relaxed),
+          impl_->coalesced.load(std::memory_order_relaxed),
+          impl_->failures.load(std::memory_order_relaxed)};
+}
+
+std::size_t SingleFlight::in_flight() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->flights.size();
+}
+
+}  // namespace opm::core

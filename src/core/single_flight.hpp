@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/fingerprint.hpp"
+
+/// Single-flight execution, the cousin of ResultCache for *in-flight*
+/// work.
+///
+/// The result cache deduplicates a computation against the **past**: an
+/// identical request that already completed is served from the near tier.
+/// SingleFlight deduplicates against the **present**: when several callers
+/// ask for the same fingerprint while the first one is still computing,
+/// exactly one of them (the leader) runs the computation and every
+/// concurrent caller (the followers) blocks until the leader publishes,
+/// then shares the same immutable payload. The sweep service puts this in
+/// front of the cache, so a duplicate-heavy request burst costs one sweep
+/// no matter how many clients raced.
+///
+/// Usage:
+///
+///   bool leader = false;
+///   auto flight = flights.try_begin(key, &leader);
+///   if (leader) {
+///     try { flights.complete(flight, compute()); }
+///     catch (...) { flights.fail(flight); throw; }
+///   } else {
+///     payload = flights.share(flight);   // nullptr if the leader failed
+///   }
+///
+/// A failed flight poisons nobody: followers get nullptr and decide for
+/// themselves (the dispatcher returns a structured "internal" error), and
+/// the key is immediately reclaimable — the next try_begin starts a fresh
+/// flight.
+namespace opm::core {
+
+class SingleFlight {
+ public:
+  /// Published results are immutable and shared by every waiter.
+  using Payload = std::shared_ptr<const std::string>;
+
+  struct Flight;  // opaque flight handle
+
+  SingleFlight();
+  ~SingleFlight();
+  SingleFlight(const SingleFlight&) = delete;
+  SingleFlight& operator=(const SingleFlight&) = delete;
+
+  /// Claims or joins the flight for `key`. Sets *leader = true when the
+  /// caller is first and must finish the flight with complete() or
+  /// fail(); false means a leader is already computing — call share().
+  std::shared_ptr<Flight> try_begin(const util::Digest128& key, bool* leader);
+
+  /// Follower side: blocks until the flight's leader publishes. Returns
+  /// the shared payload, or nullptr when the leader failed.
+  Payload share(const std::shared_ptr<Flight>& flight);
+
+  /// Leader side: publishes `payload`, wakes every follower, and retires
+  /// the key so the next identical request starts a new flight (normally
+  /// it will hit the result cache instead).
+  void complete(const std::shared_ptr<Flight>& flight, Payload payload);
+
+  /// Leader side: abandons the flight; followers receive nullptr.
+  void fail(const std::shared_ptr<Flight>& flight);
+
+  struct Stats {
+    std::uint64_t flights = 0;    ///< leader claims (distinct computations begun)
+    std::uint64_t coalesced = 0;  ///< followers that joined an in-flight leader
+    std::uint64_t failures = 0;   ///< flights retired through fail()
+  };
+  Stats stats() const;
+
+  /// Flights currently in the air (leader has not completed/failed yet).
+  std::size_t in_flight() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace opm::core

@@ -9,6 +9,7 @@
 
 #include "core/result_cache.hpp"
 #include "util/csv.hpp"
+#include "util/metrics.hpp"
 
 namespace opm::core {
 
@@ -36,6 +37,17 @@ Engine& engine() {
 constexpr std::size_t kLogCapacity = 256;
 
 void record(SweepStats s) {
+  // Process totals go to the metrics registry (one reporting path for
+  // bench harnesses and the sweep service); the bounded log below keeps
+  // the per-sweep records the CSV/JSON telemetry blocks are built from.
+  auto& reg = util::MetricsRegistry::instance();
+  reg.counter("sweep.records").add(1);
+  reg.counter("sweep.items").add(s.items);
+  reg.counter("sweep.tasks").add(s.tasks);
+  reg.counter("sweep.steals").add(s.steals);
+  reg.double_counter("sweep.wall_seconds").add(s.wall_seconds);
+  reg.double_counter("sweep.busy_seconds").add(s.busy_seconds);
+
   Engine& e = engine();
   std::lock_guard lock(e.log_mutex);
   if (e.log.size() >= kLogCapacity) e.log.pop_front();

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/sweep.hpp"
+#include "util/cli.hpp"
 
 namespace opm::core {
 
@@ -50,6 +51,25 @@ SweepConfig apply_env(SweepConfig base) {
   if (const std::string v = env_str("OPM_SWEEP_STATS"); !v.empty())
     base.telemetry = truthy(v);
   return base;
+}
+
+SweepConfig resolve_sweep_config(int argc, const char* const* argv) {
+  SweepConfig cfg = apply_env(default_sweep_config());
+  const util::Cli cli(argc, argv);
+  if (cli.has("sweep-workers")) {
+    const std::int64_t n = cli.get_int("sweep-workers", -1);
+    if (n >= 0) cfg.workers = static_cast<std::size_t>(n);
+  }
+  if (cli.has("cache-dir")) {
+    const std::string dir = cli.get("cache-dir", cfg.cache.dir);
+    if (!dir.empty()) {
+      cfg.cache.dir = dir;
+      cfg.cache.enabled = true;
+    }
+  }
+  if (cli.has("no-cache")) cfg.cache.enabled = false;
+  if (cli.has("no-sweep-stats")) cfg.telemetry = false;
+  return cfg;
 }
 
 void apply_sweep_config(const SweepConfig& config) {

@@ -39,6 +39,11 @@ SweepConfig default_sweep_config();
 /// base value untouched.
 SweepConfig apply_env(SweepConfig base);
 
+/// The full defaults → environment → CLI resolution (the table above) in
+/// one call, without applying it. Shared by bench::init and opm_serve so
+/// both front ends accept the same knobs.
+SweepConfig resolve_sweep_config(int argc, const char* const* argv);
+
 /// Applies the config process-wide: set_sweep_workers(), the result-cache
 /// configuration, and the telemetry switch.
 void apply_sweep_config(const SweepConfig& config);

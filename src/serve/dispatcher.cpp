@@ -1,0 +1,240 @@
+#include "serve/dispatcher.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/single_flight.hpp"
+#include "util/metrics.hpp"
+
+namespace opm::serve {
+
+namespace {
+
+protocol::Error rejection(const char* category, const char* message, int retry_after_ms) {
+  protocol::Error e;
+  e.category = category;
+  e.message = message;
+  e.retry_after_ms = retry_after_ms;
+  return e;
+}
+
+}  // namespace
+
+struct Dispatcher::Impl {
+  explicit Impl(const DispatchConfig& cfg)
+      : config(cfg),
+        admitted(util::MetricsRegistry::instance().counter("serve.admitted")),
+        responses(util::MetricsRegistry::instance().counter("serve.responses")),
+        computed(util::MetricsRegistry::instance().counter("serve.computed")),
+        coalesce_hits(util::MetricsRegistry::instance().counter("serve.coalesce_hits")),
+        rejected_overload(util::MetricsRegistry::instance().counter("serve.rejected_overload")),
+        rejected_draining(util::MetricsRegistry::instance().counter("serve.rejected_draining")),
+        errors_internal(util::MetricsRegistry::instance().counter("serve.errors_internal")) {}
+
+  struct Item {
+    protocol::Request req;
+    Respond respond;
+  };
+
+  DispatchConfig config;
+
+  util::Counter& admitted;
+  util::Counter& responses;
+  util::Counter& computed;
+  util::Counter& coalesce_hits;
+  util::Counter& rejected_overload;
+  util::Counter& rejected_draining;
+  util::Counter& errors_internal;
+
+  mutable std::mutex mutex;
+  std::condition_variable work_cv;     // workers: queued work is available
+  std::condition_variable drained_cv;  // drain(): queue + in-flight ran dry
+  std::unordered_map<std::uint64_t, std::deque<Item>> queues;
+  std::deque<std::uint64_t> rr;  // clients with non-empty queues, service order
+  std::size_t queued = 0;
+  std::size_t in_flight = 0;
+  bool draining = false;
+  bool stopping = false;
+
+  std::mutex drain_mutex;  // serializes drain() callers
+  bool drained = false;
+
+  core::SingleFlight flights;
+  std::vector<std::thread> workers;
+
+  void answer(const Respond& respond, std::string line) {
+    responses.add(1);
+    respond(std::move(line));
+  }
+
+  void process(Item item) {
+    const util::Digest128 key = protocol::request_key(item.req);
+    bool leader = false;
+    auto flight = flights.try_begin(key, &leader);
+    if (leader) {
+      try {
+        auto payload = std::make_shared<const std::string>(protocol::execute(item.req));
+        computed.add(1);
+        flights.complete(flight, payload);
+        answer(item.respond,
+               protocol::render_response(item.req.id, item.req.type, *payload));
+      } catch (const std::exception& e) {
+        flights.fail(flight);
+        errors_internal.add(1);
+        answer(item.respond,
+               protocol::render_error(item.req.id, rejection("internal", e.what(), 0)));
+      } catch (...) {
+        flights.fail(flight);
+        errors_internal.add(1);
+        answer(item.respond, protocol::render_error(
+                                 item.req.id, rejection("internal", "sweep failed", 0)));
+      }
+      return;
+    }
+    const core::SingleFlight::Payload payload = flights.share(flight);
+    if (payload) {
+      coalesce_hits.add(1);
+      answer(item.respond, protocol::render_response(item.req.id, item.req.type, *payload));
+    } else {
+      errors_internal.add(1);
+      answer(item.respond,
+             protocol::render_error(item.req.id,
+                                    rejection("internal", "coalesced computation failed", 0)));
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock lock(mutex);
+        work_cv.wait(lock, [&] { return stopping || queued > 0; });
+        if (queued == 0) {
+          if (stopping) return;
+          continue;
+        }
+        const std::uint64_t client = rr.front();
+        rr.pop_front();
+        auto it = queues.find(client);
+        item = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) {
+          queues.erase(it);
+        } else {
+          rr.push_back(client);  // fairness: back of the line after one item
+        }
+        --queued;
+        ++in_flight;
+      }
+      process(std::move(item));
+      {
+        std::lock_guard lock(mutex);
+        --in_flight;
+      }
+      drained_cv.notify_all();
+    }
+  }
+};
+
+Dispatcher::Dispatcher(const DispatchConfig& config) : impl_(new Impl(config)) {
+  const std::size_t n = config.workers == 0 ? 1 : config.workers;
+  impl_->workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+Dispatcher::~Dispatcher() {
+  drain();
+  delete impl_;
+}
+
+void Dispatcher::submit(std::uint64_t client, protocol::Request req, Respond respond) {
+  // Control-plane requests bypass the queue: observability must keep
+  // working precisely when the queue is the problem.
+  if (req.type == protocol::RequestType::kPing) {
+    impl_->answer(respond, protocol::render_pong(req.id));
+    return;
+  }
+  if (req.type == protocol::RequestType::kStats) {
+    impl_->answer(respond, protocol::render_stats(req.id, stats_json()));
+    return;
+  }
+
+  bool draining = false;
+  {
+    std::lock_guard lock(impl_->mutex);
+    draining = impl_->draining;
+    if (!draining && impl_->queued < impl_->config.queue_depth) {
+      auto& q = impl_->queues[client];
+      if (q.empty()) impl_->rr.push_back(client);
+      q.push_back(Impl::Item{std::move(req), std::move(respond)});
+      ++impl_->queued;
+      impl_->admitted.add(1);
+      impl_->work_cv.notify_one();
+      return;
+    }
+  }
+  // Rejected — answer inline on the submitting thread.
+  if (draining) {
+    impl_->rejected_draining.add(1);
+    impl_->answer(respond,
+                  protocol::render_error(
+                      req.id, rejection("draining", "server is draining; resubmit elsewhere",
+                                        impl_->config.retry_after_ms)));
+  } else {
+    impl_->rejected_overload.add(1);
+    impl_->answer(respond,
+                  protocol::render_error(
+                      req.id, rejection("overload", "request queue is full; retry later",
+                                        impl_->config.retry_after_ms)));
+  }
+}
+
+void Dispatcher::drain() {
+  std::lock_guard serial(impl_->drain_mutex);
+  if (impl_->drained) return;
+  {
+    std::unique_lock lock(impl_->mutex);
+    impl_->draining = true;
+    impl_->drained_cv.wait(lock, [&] { return impl_->queued == 0 && impl_->in_flight == 0; });
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  impl_->workers.clear();
+  impl_->drained = true;
+}
+
+std::string Dispatcher::stats_json() const {
+  std::size_t queued = 0, in_flight = 0;
+  {
+    std::lock_guard lock(impl_->mutex);
+    queued = impl_->queued;
+    in_flight = impl_->in_flight;
+  }
+  const auto& reg = util::MetricsRegistry::instance();
+  std::ostringstream os;
+  os << "{\"queued\":" << queued << ",\"in_flight\":" << in_flight
+     << ",\"serve\":" << reg.json("serve.") << ",\"cache\":" << reg.json("cache.")
+     << ",\"sweep\":" << reg.json("sweep.") << "}";
+  return os.str();
+}
+
+std::size_t Dispatcher::queued() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->queued;
+}
+
+std::size_t Dispatcher::in_flight() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->in_flight;
+}
+
+}  // namespace opm::serve

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+/// The sweep service's execution core: admission control, per-client
+/// fairness, and single-flight coalescing — independent of any transport,
+/// so tests drive it directly and the UDS server and --stdio mode are thin
+/// wrappers.
+///
+/// Request lifecycle:
+///
+///   submit ──► admission ──► per-client queue ──► worker ──► single-flight
+///                 │                                              │
+///                 └─ overload / draining rejection               ├─ leader: execute()
+///                    (responded inline, retry_after_ms set)      └─ follower: share()
+///
+/// * stats/ping are answered inline by submit() — they must stay
+///   responsive under overload, that is the point of having them.
+/// * Admission is a global bound on queued requests. One hoggish client
+///   cannot starve others of *service order* though: dequeue is
+///   round-robin across clients with pending work.
+/// * Identical sweeps (protocol::request_key) coalesce: one leader
+///   computes, every concurrent duplicate shares the same payload and
+///   each waiter wraps it in its own response envelope (ids differ).
+/// * drain() stops admission (subsequent submits get "draining"), lets
+///   queued and in-flight work finish, then joins the workers. The result
+///   cache's disk tier is write-through, so a drained process leaves
+///   nothing unflushed.
+///
+/// Every submit() is answered exactly once through its respond callback
+/// (on a worker thread, or inline on the submitting thread for
+/// rejections/stats/ping). Counters land in util::MetricsRegistry under
+/// "serve.": admitted, responses, computed, coalesce_hits,
+/// rejected_overload, rejected_draining, errors_internal.
+namespace opm::serve {
+
+struct DispatchConfig {
+  std::size_t queue_depth = 64;  ///< max requests queued (not yet executing)
+  std::size_t workers = 2;       ///< executor threads
+  int retry_after_ms = 50;       ///< backoff hint in overload/draining rejections
+};
+
+class Dispatcher {
+ public:
+  /// Called exactly once per submit with the complete response line
+  /// (no trailing newline).
+  using Respond = std::function<void(std::string)>;
+
+  explicit Dispatcher(const DispatchConfig& config);
+  ~Dispatcher();  ///< drains (finishes queued + in-flight work)
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Queues `req` for `client` (any stable per-connection id), or answers
+  /// inline: stats/ping immediately, overload/draining as structured
+  /// rejections.
+  void submit(std::uint64_t client, protocol::Request req, Respond respond);
+
+  /// Stops admitting, finishes queued and in-flight requests, joins the
+  /// workers. Idempotent; submit() stays safe (and keeps rejecting)
+  /// afterwards.
+  void drain();
+
+  /// {"queued":N,"in_flight":N,"serve":{...},"cache":{...},"sweep":{...}}
+  /// — the registry snapshots are the same numbers the bench harnesses
+  /// print, rendered through the same code path.
+  std::string stats_json() const;
+
+  std::size_t queued() const;
+  std::size_t in_flight() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace opm::serve

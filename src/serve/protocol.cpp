@@ -1,0 +1,339 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace opm::serve::protocol {
+
+namespace {
+
+constexpr std::size_t kMaxIdBytes = 128;
+/// Hard ceiling on dense grid size: keeps a single hostile request from
+/// pinning a worker for minutes. The paper's widest grid (KNL, n_hi =
+/// 32000) is ~4k points, far below this.
+constexpr double kMaxGridPoints = 1 << 20;
+constexpr std::size_t kMaxFootprintPoints = 65536;
+
+std::string hexf(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+bool parse_kernel(const std::string& name, core::KernelId* out) {
+  static const std::pair<const char*, core::KernelId> table[] = {
+      {"gemm", core::KernelId::kGemm},       {"cholesky", core::KernelId::kCholesky},
+      {"spmv", core::KernelId::kSpmv},       {"sptrans", core::KernelId::kSptrans},
+      {"sptrsv", core::KernelId::kSptrsv},   {"fft", core::KernelId::kFft},
+      {"stencil", core::KernelId::kStencil}, {"stream", core::KernelId::kStream},
+  };
+  for (const auto& [n, id] : table)
+    if (name == n) {
+      *out = id;
+      return true;
+    }
+  return false;
+}
+
+bool bad(Error* err, std::string message) {
+  err->category = "bad-request";
+  err->message = std::move(message);
+  err->retry_after_ms = 0;
+  return false;
+}
+
+/// Reads an optional finite number field into *dst; absent leaves the
+/// default untouched. Wrong type or non-finite value is an error.
+bool read_number(const util::JsonValue& doc, const char* key, double* dst, Error* err,
+                 bool* ok) {
+  const util::JsonValue* v = doc.find(key);
+  if (!v) return true;
+  if (!v->is_number() || !std::isfinite(v->number)) {
+    *ok = bad(err, std::string("field \"") + key + "\" must be a finite number");
+    return false;
+  }
+  *dst = v->number;
+  return true;
+}
+
+bool read_bool(const util::JsonValue& doc, const char* key, bool* dst, Error* err, bool* ok) {
+  const util::JsonValue* v = doc.find(key);
+  if (!v) return true;
+  if (!v->is_bool()) {
+    *ok = bad(err, std::string("field \"") + key + "\" must be a boolean");
+    return false;
+  }
+  *dst = v->boolean;
+  return true;
+}
+
+/// Every member of `doc` must appear in `allowed`.
+bool check_fields(const util::JsonValue& doc, const std::set<std::string_view>& allowed,
+                  Error* err) {
+  for (const auto& [key, value] : doc.members)
+    if (allowed.find(key) == allowed.end())
+      return bad(err, "unknown field \"" + key + "\"");
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(RequestType type) {
+  switch (type) {
+    case RequestType::kDense: return "dense";
+    case RequestType::kSparse: return "sparse";
+    case RequestType::kFootprint: return "footprint";
+    case RequestType::kStats: return "stats";
+    case RequestType::kPing: return "ping";
+  }
+  return "?";
+}
+
+bool resolve_platform(std::string_view name, sim::Platform* out) {
+  if (name == "broadwell-edram-off") *out = sim::broadwell(sim::EdramMode::kOff);
+  else if (name == "broadwell-edram-on") *out = sim::broadwell(sim::EdramMode::kOn);
+  else if (name == "knl-ddr") *out = sim::knl(sim::McdramMode::kOff);
+  else if (name == "knl-cache") *out = sim::knl(sim::McdramMode::kCache);
+  else if (name == "knl-flat") *out = sim::knl(sim::McdramMode::kFlat);
+  else if (name == "knl-hybrid") *out = sim::knl(sim::McdramMode::kHybrid);
+  else return false;
+  return true;
+}
+
+bool parse_request(std::string_view line, Request* out, Error* err) {
+  std::string parse_error;
+  const auto doc = util::parse_json(line, &parse_error);
+  if (!doc) {
+    err->category = "parse";
+    err->message = parse_error;
+    err->retry_after_ms = 0;
+    return false;
+  }
+  if (!doc->is_object()) {
+    err->category = "parse";
+    err->message = "request must be a JSON object";
+    err->retry_after_ms = 0;
+    return false;
+  }
+
+  // Recover the id first so even a rejected request's error echoes it.
+  if (const util::JsonValue* id = doc->find("id")) {
+    if (!id->is_string()) return bad(err, "field \"id\" must be a string");
+    if (id->string.size() > kMaxIdBytes) return bad(err, "field \"id\" exceeds 128 bytes");
+    out->id = id->string;
+  }
+
+  const util::JsonValue* type = doc->find("type");
+  if (!type || !type->is_string())
+    return bad(err, "missing required string field \"type\"");
+  const std::string& t = type->string;
+  if (t == "dense") out->type = RequestType::kDense;
+  else if (t == "sparse") out->type = RequestType::kSparse;
+  else if (t == "footprint") out->type = RequestType::kFootprint;
+  else if (t == "stats") out->type = RequestType::kStats;
+  else if (t == "ping") out->type = RequestType::kPing;
+  else return bad(err, "unknown request type \"" + t + "\"");
+
+  if (out->type == RequestType::kStats || out->type == RequestType::kPing)
+    return check_fields(*doc, {"type", "id"}, err);
+
+  // Sweep requests: resolve the platform, then the type-specific fields.
+  const util::JsonValue* platform = doc->find("platform");
+  if (!platform || !platform->is_string())
+    return bad(err, "missing required string field \"platform\"");
+  if (!resolve_platform(platform->string, &out->platform))
+    return bad(err, "unknown platform \"" + platform->string +
+                        "\" (expected broadwell-edram-{off,on} or "
+                        "knl-{ddr,cache,flat,hybrid})");
+  out->platform_name = platform->string;
+
+  core::KernelId kernel{};
+  bool have_kernel = false;
+  if (const util::JsonValue* k = doc->find("kernel")) {
+    if (!k->is_string()) return bad(err, "field \"kernel\" must be a string");
+    if (!parse_kernel(k->string, &kernel))
+      return bad(err, "unknown kernel \"" + k->string + "\"");
+    have_kernel = true;
+  }
+
+  bool ok = true;
+  switch (out->type) {
+    case RequestType::kDense: {
+      if (!check_fields(*doc,
+                        {"type", "id", "platform", "kernel", "n_lo", "n_hi", "n_step",
+                         "nb_lo", "nb_hi", "nb_step"},
+                        err))
+        return false;
+      core::DenseSweepRequest& r = out->dense;
+      if (have_kernel) {
+        if (kernel != core::KernelId::kGemm && kernel != core::KernelId::kCholesky)
+          return bad(err, "dense sweeps accept kernel gemm or cholesky");
+        r.kernel = kernel;
+      }
+      if (!read_number(*doc, "n_lo", &r.n_lo, err, &ok) ||
+          !read_number(*doc, "n_hi", &r.n_hi, err, &ok) ||
+          !read_number(*doc, "n_step", &r.n_step, err, &ok) ||
+          !read_number(*doc, "nb_lo", &r.nb_lo, err, &ok) ||
+          !read_number(*doc, "nb_hi", &r.nb_hi, err, &ok) ||
+          !read_number(*doc, "nb_step", &r.nb_step, err, &ok))
+        return ok;
+      if (r.n_lo < 1.0 || r.nb_lo < 1.0) return bad(err, "grid bounds must be >= 1");
+      if (r.n_hi < r.n_lo || r.nb_hi < r.nb_lo)
+        return bad(err, "grid upper bounds must be >= lower bounds");
+      if (r.n_step <= 0.0 || r.nb_step <= 0.0) return bad(err, "grid steps must be > 0");
+      const double nx = std::floor((r.n_hi - r.n_lo) / r.n_step) + 1.0;
+      const double ny = std::floor((r.nb_hi - r.nb_lo) / r.nb_step) + 1.0;
+      if (nx * ny > kMaxGridPoints) return bad(err, "dense grid exceeds 2^20 points");
+      return true;
+    }
+    case RequestType::kSparse: {
+      if (!check_fields(*doc, {"type", "id", "platform", "kernel", "merge_based"}, err))
+        return false;
+      core::SparseSweepRequest& r = out->sparse;
+      if (have_kernel) {
+        if (kernel != core::KernelId::kSpmv && kernel != core::KernelId::kSptrans &&
+            kernel != core::KernelId::kSptrsv)
+          return bad(err, "sparse sweeps accept kernel spmv, sptrans, or sptrsv");
+        r.kernel = kernel;
+      }
+      if (!read_bool(*doc, "merge_based", &r.merge_based, err, &ok)) return ok;
+      return true;
+    }
+    case RequestType::kFootprint: {
+      if (!check_fields(*doc, {"type", "id", "platform", "kernel", "fp_lo", "fp_hi", "points"},
+                        err))
+        return false;
+      core::FootprintSweepRequest& r = out->footprint;
+      if (have_kernel) {
+        if (kernel != core::KernelId::kStream && kernel != core::KernelId::kStencil &&
+            kernel != core::KernelId::kFft)
+          return bad(err, "footprint sweeps accept kernel stream, stencil, or fft");
+        r.kernel = kernel;
+      }
+      if (!read_number(*doc, "fp_lo", &r.fp_lo, err, &ok) ||
+          !read_number(*doc, "fp_hi", &r.fp_hi, err, &ok))
+        return ok;
+      if (const util::JsonValue* p = doc->find("points")) {
+        if (!p->is_number() || !std::isfinite(p->number) || p->number < 1.0 ||
+            p->number != std::floor(p->number) ||
+            p->number > static_cast<double>(kMaxFootprintPoints))
+          return bad(err, "field \"points\" must be an integer in [1, 65536]");
+        r.points = static_cast<std::size_t>(p->number);
+      }
+      if (r.fp_lo <= 0.0) return bad(err, "fp_lo must be > 0");
+      if (r.fp_hi <= r.fp_lo) return bad(err, "fp_hi must be > fp_lo");
+      return true;
+    }
+    default: break;
+  }
+  return bad(err, "unhandled request type");
+}
+
+const sparse::SyntheticCollection& serve_suite() {
+  static const sparse::SyntheticCollection suite = sparse::SyntheticCollection::paper_suite();
+  return suite;
+}
+
+util::Digest128 request_key(const Request& req) {
+  util::Digest128 base;
+  switch (req.type) {
+    case RequestType::kDense:
+      base = core::sweep_cache_key(req.platform, req.dense);
+      break;
+    case RequestType::kSparse:
+      base = core::sweep_cache_key(req.platform, req.sparse, serve_suite());
+      break;
+    case RequestType::kFootprint:
+      base = core::sweep_cache_key(req.platform, req.footprint);
+      break;
+    default:
+      break;
+  }
+  util::Hasher128 h;
+  h.add(std::string_view("opm.serve.csv.v1"));
+  h.add(static_cast<std::uint64_t>(req.type));
+  h.add(base.hi);
+  h.add(base.lo);
+  return h.digest();
+}
+
+std::string execute(const Request& req) {
+  std::vector<core::SweepPoint> points;
+  switch (req.type) {
+    case RequestType::kDense:
+      points = core::sweep_dense(req.platform, req.dense);
+      break;
+    case RequestType::kSparse:
+      points = core::sweep_sparse(req.platform, req.sparse, serve_suite());
+      break;
+    case RequestType::kFootprint:
+      points = core::sweep_footprint_kernel(req.platform, req.footprint);
+      break;
+    default:
+      return {};
+  }
+  return render_points_csv(points);
+}
+
+std::string render_points_csv(const std::vector<core::SweepPoint>& points) {
+  std::string out = "x,y,gflops,footprint,rows,nnz,input_id\n";
+  for (const auto& p : points) {
+    out += hexf(p.x);
+    out += ',';
+    out += hexf(p.y);
+    out += ',';
+    out += hexf(p.gflops);
+    out += ',';
+    out += hexf(p.footprint);
+    out += ',';
+    out += hexf(p.rows);
+    out += ',';
+    out += hexf(p.nnz);
+    out += ',';
+    out += std::to_string(p.input_id);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_response(const std::string& id, RequestType type,
+                            const std::string& payload) {
+  std::string out = "{\"id\":\"";
+  out += util::json_escape(id);
+  out += "\",\"ok\":true,\"type\":\"";
+  out += to_string(type);
+  out += "\",\"payload\":\"";
+  out += util::json_escape(payload);
+  out += "\"}";
+  return out;
+}
+
+std::string render_error(const std::string& id, const Error& err) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << util::json_escape(id) << "\",\"ok\":false,\"error\":{\"category\":\""
+     << util::json_escape(err.category) << "\",\"message\":\"" << util::json_escape(err.message)
+     << "\",\"retry_after_ms\":" << err.retry_after_ms << "}}";
+  return os.str();
+}
+
+std::string render_stats(const std::string& id, const std::string& stats_json) {
+  std::string out = "{\"id\":\"";
+  out += util::json_escape(id);
+  out += "\",\"ok\":true,\"type\":\"stats\",\"stats\":";
+  out += stats_json;
+  out += "}";
+  return out;
+}
+
+std::string render_pong(const std::string& id) {
+  std::string out = "{\"id\":\"";
+  out += util::json_escape(id);
+  out += "\",\"ok\":true,\"type\":\"pong\"}";
+  return out;
+}
+
+}  // namespace opm::serve::protocol

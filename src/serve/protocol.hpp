@@ -1,0 +1,111 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/platform.hpp"
+#include "sparse/collection.hpp"
+#include "util/fingerprint.hpp"
+
+/// The opm_serve wire protocol: newline-delimited JSON requests, one JSON
+/// response line per request.
+///
+/// A request is a single line holding one JSON object. The three sweep
+/// types map 1:1 onto the canonical request structs of core/experiment.hpp
+/// — the service is a thin network front end over the exact same library
+/// calls the offline bench harnesses make, which is what makes the
+/// byte-identity guarantee checkable: for any request, the "payload" field
+/// of the response equals render_points_csv(<the offline sweep>) exactly.
+///
+///   {"type":"dense","id":"r1","platform":"broadwell-edram-on",
+///    "kernel":"gemm","n_lo":256,"n_hi":4096,"n_step":512,
+///    "nb_lo":128,"nb_hi":1024,"nb_step":128}
+///   {"type":"sparse","id":"r2","platform":"knl-flat","kernel":"spmv"}
+///   {"type":"footprint","id":"r3","platform":"knl-cache","kernel":"stream",
+///    "fp_lo":16384,"fp_hi":1048576,"points":32}
+///   {"type":"stats","id":"s1"}
+///   {"type":"ping","id":"p1"}
+///
+/// Parsing is strict: unknown request types, unknown fields, wrong field
+/// types, non-finite or out-of-range values, kernels that do not match the
+/// request type, and ids longer than 128 bytes are all rejected with a
+/// structured error — the server never guesses. Sweep fields are optional
+/// and default to the paper's appendix A.2 configuration (the same
+/// defaults the canonical structs carry).
+///
+/// Responses (one line each):
+///   {"id":"r1","ok":true,"type":"dense","payload":"x,y,gflops,..."}
+///   {"id":"r1","ok":false,"error":{"category":"overload",
+///    "message":"...","retry_after_ms":50}}
+///
+/// Error categories: "parse" (not valid JSON), "bad-request" (valid JSON,
+/// invalid request), "oversized" (line exceeded the server limit; the
+/// connection is closed because framing is lost), "overload" and
+/// "draining" (admission control; retry_after_ms > 0), "internal" (the
+/// computation failed).
+namespace opm::serve::protocol {
+
+enum class RequestType { kDense, kSparse, kFootprint, kStats, kPing };
+
+const char* to_string(RequestType type);
+
+/// A fully-validated request. Exactly one of the three sweep structs is
+/// meaningful, selected by `type`; `platform` is resolved from the
+/// selector string.
+struct Request {
+  RequestType type = RequestType::kPing;
+  std::string id;             ///< client-chosen echo token (may be empty)
+  std::string platform_name;  ///< the selector as sent, e.g. "knl-flat"
+  sim::Platform platform;     ///< resolved platform (sweep types only)
+  core::DenseSweepRequest dense;
+  core::SparseSweepRequest sparse;
+  core::FootprintSweepRequest footprint;
+};
+
+/// A structured protocol error, rendered by render_error.
+struct Error {
+  std::string category;   ///< parse|bad-request|oversized|overload|draining|internal
+  std::string message;
+  int retry_after_ms = 0; ///< > 0 only for overload / draining
+};
+
+/// The platform selectors the service accepts.
+///   broadwell-edram-off  broadwell-edram-on
+///   knl-ddr  knl-cache  knl-flat  knl-hybrid
+/// Returns false (and leaves *out alone) for anything else.
+bool resolve_platform(std::string_view name, sim::Platform* out);
+
+/// Parses and validates one request line. On failure fills *err (category
+/// "parse" or "bad-request") and returns false; *out keeps whatever id was
+/// recovered so the error response can still echo it.
+bool parse_request(std::string_view line, Request* out, Error* err);
+
+/// The sparse suite every sparse request runs against (the paper's
+/// 968-matrix synthetic collection, built once per process).
+const sparse::SyntheticCollection& serve_suite();
+
+/// Coalescing/caching identity of a request: the sweep's result-cache key
+/// (platform + canonical struct [+ suite]) plus a response-format tag.
+/// Deliberately excludes `id` — two clients asking the same question are
+/// the same flight. Meaningless for stats/ping (never dispatched).
+util::Digest128 request_key(const Request& req);
+
+/// Runs the sweep through the core library (result cache and all) and
+/// renders the payload. This is the byte-identity reference: the offline
+/// verifier calls this directly and diffs against served payloads.
+std::string execute(const Request& req);
+
+/// CSV payload: header "x,y,gflops,footprint,rows,nnz,input_id", doubles
+/// as C99 hex floats (%a) so the text round-trips bit-exactly.
+std::string render_points_csv(const std::vector<core::SweepPoint>& points);
+
+/// Response envelopes (single lines, no trailing newline).
+std::string render_response(const std::string& id, RequestType type,
+                            const std::string& payload);
+std::string render_error(const std::string& id, const Error& err);
+std::string render_stats(const std::string& id, const std::string& stats_json);
+std::string render_pong(const std::string& id);
+
+}  // namespace opm::serve::protocol

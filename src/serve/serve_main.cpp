@@ -1,0 +1,82 @@
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+#include "core/sweep_config.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+
+/// opm_serve — the long-running sweep service.
+///
+///   opm_serve [--socket=PATH] [--queue-depth=N] [--serve-workers=N]
+///             [--max-line-bytes=N] [--retry-after-ms=N] [--stdio]
+///             [--sweep-workers=N] [--cache-dir=PATH] [--no-cache]
+///             [--no-sweep-stats]
+///
+/// Listens on a Unix domain socket (default ./opm-serve.sock) for
+/// newline-delimited JSON sweep requests (see serve/protocol.hpp) and
+/// answers each with a payload byte-identical to the offline bench
+/// output for the same request. SIGTERM/SIGINT triggers a graceful
+/// drain: stop accepting, finish in-flight work, exit 0. With --stdio it
+/// instead serves stdin→stdout once and exits when stdin closes.
+///
+/// The sweep knobs are the same defaults → environment → CLI resolution
+/// the bench harnesses use (core::resolve_sweep_config), so a server and
+/// an offline run configured alike share one on-disk result cache.
+
+namespace {
+
+std::atomic<int> g_drain_fd{-1};
+
+extern "C" void on_terminate(int) {
+  const int fd = g_drain_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'd';
+    // Async-signal-safe; the accept loop wakes on the pipe.
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opm;
+  core::apply_sweep_config(core::resolve_sweep_config(argc, argv));
+
+  const util::Cli cli(argc, argv);
+  serve::ServerConfig config;
+  config.socket_path = cli.get("socket", "opm-serve.sock");
+  config.max_line_bytes =
+      static_cast<std::size_t>(cli.get_int("max-line-bytes", 256 * 1024));
+  config.dispatch.queue_depth = static_cast<std::size_t>(cli.get_int("queue-depth", 64));
+  config.dispatch.workers = static_cast<std::size_t>(cli.get_int("serve-workers", 2));
+  config.dispatch.retry_after_ms = static_cast<int>(cli.get_int("retry-after-ms", 50));
+
+  serve::Server server(config);
+
+  if (cli.has("stdio")) {
+    server.serve_stream(0, 1);
+    return 0;
+  }
+
+  std::string error;
+  if (!server.start(&error)) {
+    util::log_error("opm_serve: " + error);
+    return 1;
+  }
+  g_drain_fd.store(server.drain_fd(), std::memory_order_relaxed);
+
+  struct sigaction sa = {};
+  sa.sa_handler = on_terminate;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  util::log_info("opm_serve listening on " + config.socket_path);
+  server.wait();
+  util::log_info("opm_serve drained cleanly");
+  return 0;
+}

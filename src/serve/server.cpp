@@ -1,0 +1,279 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+namespace opm::serve {
+
+namespace {
+
+/// One response sink. Sockets write via send(MSG_NOSIGNAL); pipes/files
+/// via write() (the server also ignores SIGPIPE process-wide as a second
+/// line of defense, since tests drive serve_stream over pipes). The mutex
+/// serializes concurrent responses from different dispatcher workers and
+/// makes close-vs-write safe.
+struct Conn {
+  int fd = -1;
+  bool is_socket = true;
+  bool owns_fd = true;
+  std::mutex mutex;
+  bool open = true;
+
+  void write_line(std::string line) {
+    line.push_back('\n');
+    std::lock_guard lock(mutex);
+    if (!open || fd < 0) return;  // client went away: drop the response
+    const char* p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      const ssize_t n = is_socket ? ::send(fd, p, left, MSG_NOSIGNAL) : ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        open = false;  // broken pipe or similar; subsequent responses drop
+        return;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Wakes a reader blocked in read() and stops future writes. The fd is
+  /// closed by whoever owns the reader loop, after it exits.
+  void request_close() {
+    std::lock_guard lock(mutex);
+    open = false;
+    if (fd >= 0 && is_socket) ::shutdown(fd, SHUT_RDWR);
+  }
+
+  void close_fd() {
+    std::lock_guard lock(mutex);
+    open = false;
+    if (fd >= 0 && owns_fd) ::close(fd);
+    fd = -1;
+  }
+};
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(const ServerConfig& cfg) : config(cfg), dispatcher(cfg.dispatch) {}
+
+  ServerConfig config;
+  Dispatcher dispatcher;
+
+  int listen_fd = -1;
+  int pipe_r = -1;
+  int pipe_w = -1;
+  std::thread accept_thread;
+  bool started = false;
+  bool waited = false;
+
+  std::mutex conns_mutex;
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> next_client{1};
+
+  /// Handles one complete request line for `client`, answering through
+  /// `conn`. Shared by the socket readers and serve_stream.
+  void handle_line(const std::string& line, std::uint64_t client,
+                   const std::shared_ptr<Conn>& conn) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) return;  // blank: ignore
+    protocol::Request req;
+    protocol::Error err;
+    if (!protocol::parse_request(line, &req, &err)) {
+      util::MetricsRegistry::instance().counter("serve.errors_protocol").add(1);
+      conn->write_line(protocol::render_error(req.id, err));
+      return;  // framing is intact; the connection stays open
+    }
+    dispatcher.submit(client, std::move(req),
+                      [conn](std::string response) { conn->write_line(std::move(response)); });
+  }
+
+  /// Reads `in_fd` until EOF/error, feeding complete lines to
+  /// handle_line. Returns false when the stream was cut off for an
+  /// oversized line.
+  bool read_loop(int in_fd, std::uint64_t client, const std::shared_ptr<Conn>& conn) {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(in_fd, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return true;
+      }
+      if (n == 0) return true;  // EOF
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos;
+      while ((pos = buf.find('\n')) != std::string::npos) {
+        const std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        if (line.size() > config.max_line_bytes) {
+          oversized(conn);
+          return false;
+        }
+        handle_line(line, client, conn);
+      }
+      if (buf.size() > config.max_line_bytes) {
+        oversized(conn);
+        return false;
+      }
+    }
+  }
+
+  void oversized(const std::shared_ptr<Conn>& conn) {
+    util::MetricsRegistry::instance().counter("serve.errors_protocol").add(1);
+    protocol::Error err;
+    err.category = "oversized";
+    err.message = "request line exceeds " + std::to_string(config.max_line_bytes) +
+                  " bytes; closing connection";
+    conn->write_line(protocol::render_error("", err));
+  }
+
+  void reader_main(std::shared_ptr<Conn> conn, std::uint64_t client) {
+    read_loop(conn->fd, client, conn);
+    conn->close_fd();  // EOF, error, or oversized: this reader owns the fd
+  }
+
+  void accept_loop() {
+    for (;;) {
+      pollfd fds[2] = {{listen_fd, POLLIN, 0}, {pipe_r, POLLIN, 0}};
+      const int rc = ::poll(fds, 2, -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        util::log_error(std::string("opm_serve: poll failed: ") + std::strerror(errno));
+        return;
+      }
+      if (fds[1].revents != 0) return;  // drain requested
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      const int cfd = ::accept(listen_fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      auto conn = std::make_shared<Conn>();
+      conn->fd = cfd;
+      conn->is_socket = true;
+      const std::uint64_t client = next_client.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lock(conns_mutex);
+      conns.push_back(conn);
+      readers.emplace_back([this, conn, client] { reader_main(conn, client); });
+    }
+  }
+};
+
+Server::Server(const ServerConfig& config) : impl_(new Impl(config)) {}
+
+Server::~Server() {
+  if (impl_->started && !impl_->waited) {
+    request_drain();
+    wait();
+  }
+  if (impl_->pipe_r >= 0) ::close(impl_->pipe_r);
+  if (impl_->pipe_w >= 0) ::close(impl_->pipe_w);
+  delete impl_;
+}
+
+bool Server::start(std::string* error) {
+  ::signal(SIGPIPE, SIG_IGN);
+  int p[2];
+  if (::pipe(p) != 0) {
+    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  impl_->pipe_r = p[0];
+  impl_->pipe_w = p[1];
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (impl_->config.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long: " + impl_->config.socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, impl_->config.socket_path.c_str(),
+              impl_->config.socket_path.size() + 1);
+
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(impl_->config.socket_path.c_str());  // stale file from a killed process
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error)
+      *error = "bind " + impl_->config.socket_path + ": " + std::strerror(errno);
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    return false;
+  }
+  if (::listen(impl_->listen_fd, 64) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    return false;
+  }
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  impl_->started = true;
+  return true;
+}
+
+int Server::drain_fd() const { return impl_->pipe_w; }
+
+void Server::request_drain() {
+  const char byte = 'd';
+  if (impl_->pipe_w >= 0) {
+    ssize_t rc;
+    do {
+      rc = ::write(impl_->pipe_w, &byte, 1);
+    } while (rc < 0 && errno == EINTR);
+  }
+}
+
+void Server::wait() {
+  if (!impl_->started || impl_->waited) return;
+  impl_->waited = true;
+  // 1. Stop accepting: the accept loop exits once the drain pipe fires.
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  ::unlink(impl_->config.socket_path.c_str());
+  // 2. Finish admitted work. Connections are still live: clients that keep
+  //    sending get structured "draining" rejections, and every response
+  //    for queued/in-flight work is written before drain() returns.
+  impl_->dispatcher.drain();
+  // 3. Tear down connections and join their readers.
+  {
+    std::lock_guard lock(impl_->conns_mutex);
+    for (const auto& conn : impl_->conns) conn->request_close();
+  }
+  for (auto& t : impl_->readers) t.join();
+  impl_->readers.clear();
+}
+
+void Server::serve_stream(int in_fd, int out_fd) {
+  ::signal(SIGPIPE, SIG_IGN);
+  auto conn = std::make_shared<Conn>();
+  conn->fd = out_fd;
+  conn->is_socket = false;
+  conn->owns_fd = false;
+  const std::uint64_t client = impl_->next_client.fetch_add(1, std::memory_order_relaxed);
+  impl_->read_loop(in_fd, client, conn);
+  // EOF: answer everything already admitted, then hand the stream back.
+  impl_->dispatcher.drain();
+}
+
+const ServerConfig& Server::config() const { return impl_->config; }
+
+Dispatcher& Server::dispatcher() { return impl_->dispatcher; }
+
+}  // namespace opm::serve

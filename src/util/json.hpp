@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// Minimal strict JSON reader for the serve protocol.
+///
+/// The repo *emits* JSON in several places (sweep telemetry, cache
+/// totals); the sweep service is the first component that must *consume*
+/// it, from untrusted clients. This parser is therefore strict and
+/// bounded: RFC 8259 grammar only (no comments, no trailing commas, no
+/// NaN/Infinity), a hard nesting-depth limit, and an explicit error
+/// message with the byte offset for every rejection — a malformed line
+/// must always turn into a structured protocol error, never UB.
+namespace opm::util {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;                                      ///< decoded (unescaped) text
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject, insertion order
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses exactly one JSON document covering the whole input (trailing
+/// whitespace allowed, trailing garbage is an error). On failure returns
+/// nullopt and, when `error` is non-null, stores "offset N: reason".
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error = nullptr,
+                                    std::size_t max_depth = 64);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included): ", \, and control characters; everything else is passed
+/// through byte-for-byte so round-tripping a payload is exact.
+std::string json_escape(std::string_view s);
+
+}  // namespace opm::util

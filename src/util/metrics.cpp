@@ -1,0 +1,93 @@
+#include "util/metrics.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace opm::util {
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // Nodes are heap-allocated so references handed out by counter() stay
+  // valid across rehashes/inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<DoubleCounter>, std::less<>> doubles;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end())
+    it = impl_->counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+DoubleCounter& MetricsRegistry::double_counter(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->doubles.find(name);
+  if (it == impl_->doubles.end())
+    it = impl_->doubles.emplace(std::string(name), std::make_unique<DoubleCounter>()).first;
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters(
+    std::string_view prefix) const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, c] : impl_->counters)
+    if (name.starts_with(prefix)) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::double_counters(
+    std::string_view prefix) const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, c] : impl_->doubles)
+    if (name.starts_with(prefix)) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::string MetricsRegistry::json(std::string_view prefix) const {
+  // Merge the (already name-sorted) kinds into one sorted object.
+  std::map<std::string, std::string> rendered;
+  {
+    std::lock_guard lock(impl_->mutex);
+    for (const auto& [name, c] : impl_->counters)
+      if (name.starts_with(prefix)) rendered[name] = std::to_string(c->value());
+    for (const auto& [name, c] : impl_->doubles)
+      if (name.starts_with(prefix)) {
+        std::ostringstream os;
+        os << c->value();
+        rendered[name] = os.str();
+      }
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : rendered) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + value;
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::reset(std::string_view prefix) {
+  std::lock_guard lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters)
+    if (name.starts_with(prefix)) c->reset();
+  for (auto& [name, c] : impl_->doubles)
+    if (name.starts_with(prefix)) c->reset();
+}
+
+}  // namespace opm::util

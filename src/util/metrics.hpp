@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// Process-wide named-metric registry.
+///
+/// PR 1 and PR 2 each grew their own counter plumbing: SweepStats
+/// accumulation in core/sweep.cpp and the CacheStats atomics inside
+/// ResultCache. The registry is the single home for such process totals —
+/// a metric is a named monotonic counter (or double accumulator) that any
+/// layer bumps through a stable reference, and every reporting surface
+/// (the bench harness stats blocks, the opm_serve "stats" request) renders
+/// the same snapshot through one code path.
+///
+/// Naming convention: dotted lowercase, prefixed by the owning subsystem
+/// ("cache.misses", "sweep.tasks", "serve.coalesce_hits"). Names must be
+/// unique across metric kinds; the JSON snapshot merges every kind into
+/// one flat object sorted by name.
+namespace opm::util {
+
+/// Monotonic 64-bit counter. add() is lock-free and safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Monotonic double accumulator (seconds, ratios). CAS loop — C++20
+/// floating fetch_add is not yet universal across the toolchains CI uses.
+class DoubleCounter {
+ public:
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide instance (thread-safe magic static).
+  static MetricsRegistry& instance();
+
+  /// Returns the metric named `name`, creating it on first use. The
+  /// reference stays valid for the process lifetime, so hot paths resolve
+  /// once and bump through the reference.
+  Counter& counter(std::string_view name);
+  DoubleCounter& double_counter(std::string_view name);
+
+  /// Every counter whose name starts with `prefix` (empty = all), sorted
+  /// by name. Doubles are folded in as their own entries.
+  std::vector<std::pair<std::string, std::uint64_t>> counters(std::string_view prefix = {}) const;
+  std::vector<std::pair<std::string, double>> double_counters(std::string_view prefix = {}) const;
+
+  /// One flat JSON object over every metric with the prefix, sorted by
+  /// name: {"cache.misses":3,"cache.lookup_seconds":0.002,...}.
+  std::string json(std::string_view prefix = {}) const;
+
+  /// Zeroes every metric whose name starts with `prefix`. Used by the
+  /// subsystem-level reset hooks (e.g. reset_result_cache_stats() resets
+  /// "cache.").
+  void reset(std::string_view prefix);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace opm::util
