@@ -290,7 +290,7 @@ int main(int argc, char** argv) {
   // ---- load phase ----
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<ClientResult> results(clients);
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // opm-lint: allow(thread-ownership) — loadgen clients model independent processes
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       ClientResult& res = results[c];

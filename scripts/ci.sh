@@ -1,16 +1,27 @@
 #!/usr/bin/env bash
-# Sanitizer + cache + serve CI for the tier-1 test suite.
+# Static-analysis + sanitizer + cache + serve CI for the tier-1 test suite.
 #
-#   ./scripts/ci.sh [thread|address|cache|serve|all]     (default: all)
+#   ./scripts/ci.sh [static|thread|address|undefined|cache|serve|all]
+#   (default: all)
 #
-# Builds the full test suite with -DOPM_SANITIZE=<mode> into its own build
-# tree (build-tsan / build-asan) and runs ctest. TSan is what guards the
-# work-stealing deques in util::ThreadPool; ASan+UBSan guard everything
-# else. Any sanitizer report fails the ctest invocation (halt_on_error).
+# The static job runs FIRST and needs no test execution: it builds only the
+# opm_lint tool and scans src/ bench/ tests/ for project-invariant
+# violations (seeded-RNG-only, thread ownership, canonical %a
+# serialization, OPM_GUARDED_BY coverage, #pragma once, no std::endl),
+# then self-checks that a seeded violation still trips the linter. When a
+# clang++ with -Wthread-safety is available it also compiles the full tree
+# with the thread-safety annotations promoted to errors, proving every
+# lock acquisition at compile time; without clang the gate is skipped with
+# a notice (GCC does not implement the analysis).
 #
-# Sanitizer jobs run with the result cache DISABLED (OPM_NO_CACHE=1): a
-# cache hit would short-circuit the compute path the sanitizers exist to
-# instrument.
+# Sanitizer jobs build the full test suite with -DOPM_SANITIZE=<mode> into
+# their own build trees (build-tsan / build-asan / build-ubsan) and run
+# ctest. TSan guards the work-stealing deques in util::ThreadPool;
+# ASan+UBSan guard everything else; the standalone UBSan tree isolates UB
+# findings from ASan's address-space noise. Any sanitizer report fails the
+# ctest invocation (halt_on_error). Sanitizer jobs run with the result
+# cache DISABLED (OPM_NO_CACHE=1): a cache hit would short-circuit the
+# compute path the sanitizers exist to instrument.
 #
 # The cache job builds the plain tree, then runs the Table 4/5 summaries
 # twice against a scratch cache dir — once cold, once warm — with
@@ -22,10 +33,64 @@
 # deduplication, structured overload rejections), the same gates against
 # an external server over its Unix socket, and a SIGTERM mid-load that
 # must drain gracefully — exit 0, no orphaned socket file.
+#
+# Fail-fast: set -e aborts on the first failing job; the EXIT trap prints
+# a summary of which jobs ran and where the run stopped.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 mode="${1:-all}"
+
+declare -a job_status=()
+ci_summary() {
+  local rc=$?
+  if [ "${#job_status[@]}" -gt 0 ]; then
+    echo "ci: summary — ${job_status[*]}"
+  fi
+  return "$rc"
+}
+trap ci_summary EXIT
+
+# Marks the job FAIL up front, runs it, then flips the mark to ok — so the
+# EXIT-trap summary is truthful even when set -e aborts mid-job.
+run_job() {
+  local name="$1"; shift
+  job_status+=("$name:FAIL")
+  "$@"
+  job_status[$(( ${#job_status[@]} - 1 ))]="$name:ok"
+}
+
+run_static() {
+  local dir="build-static"
+  echo "== [static] configure & build opm_lint ($dir)"
+  cmake -B "$root/$dir" -G Ninja -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$root/$dir" --target opm_lint
+  echo "== [static] opm_lint src bench tests"
+  (cd "$root" && "$root/$dir/tools/opm_lint" src bench tests)
+  echo "== [static] linter self-check (seeded violation must be caught)"
+  local fixture="$root/$dir/lint-selfcheck"
+  rm -rf "$fixture"
+  mkdir -p "$fixture/src/core"
+  printf 'int f() { return rand(); }\n' > "$fixture/src/core/bad.cpp"
+  if (cd "$fixture" && "$root/$dir/tools/opm_lint" src > /dev/null); then
+    echo "ci: FAIL — opm_lint exited 0 on a seeded rand() violation" >&2
+    exit 1
+  fi
+  echo "   seeded rand() violation caught (nonzero exit)"
+  if command -v clang++ > /dev/null 2>&1; then
+    echo "== [static] clang -Wthread-safety -Werror full-tree compile"
+    local tsdir="build-threadsafety"
+    cmake -B "$root/$tsdir" -G Ninja -S "$root" \
+          -DCMAKE_CXX_COMPILER=clang++ \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    cmake --build "$root/$tsdir"
+    echo "   thread-safety annotations prove clean under clang"
+  else
+    echo "== [static] clang++ not found — thread-safety compile gate skipped"
+    echo "   (GCC has no -Wthread-safety; annotations compile as no-ops)"
+  fi
+}
 
 run_one() {
   local sanitizer="$1" dir="$2"
@@ -107,15 +172,19 @@ run_serve() {
 }
 
 case "$mode" in
-  thread)  run_one thread build-tsan ;;
-  address) run_one address build-asan ;;
-  cache)   run_cache ;;
-  serve)   run_serve ;;
-  all)     run_one thread build-tsan
-           run_one address build-asan
-           run_cache
-           run_serve ;;
-  *) echo "usage: $0 [thread|address|cache|serve|all]" >&2; exit 2 ;;
+  static)    run_job static run_static ;;
+  thread)    run_job thread run_one thread build-tsan ;;
+  address)   run_job address run_one address build-asan ;;
+  undefined) run_job undefined run_one undefined build-ubsan ;;
+  cache)     run_job cache run_cache ;;
+  serve)     run_job serve run_serve ;;
+  all)       run_job static run_static
+             run_job thread run_one thread build-tsan
+             run_job address run_one address build-asan
+             run_job undefined run_one undefined build-ubsan
+             run_job cache run_cache
+             run_job serve run_serve ;;
+  *) echo "usage: $0 [static|thread|address|undefined|cache|serve|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: suite(s) green"

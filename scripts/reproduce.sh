@@ -9,13 +9,15 @@
 # ./results). Sweep harnesses print the parallel engine's SweepStats
 # telemetry (tasks, steals, busy/wall time) into their outputs.
 #
-# --quick: sanitizer CI only — builds the tier-1 tests under TSan and
-# ASan/UBSan via scripts/ci.sh and skips the artifact sweep.
+# --quick: CI only — runs the static checks (opm_lint + thread-safety
+# annotations) and the sanitizer matrix via scripts/ci.sh, skipping the
+# artifact sweep.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
 if [[ "${1:-}" == "--quick" ]]; then
+  echo "== quick mode: static checks (opm_lint, thread-safety) + sanitizer matrix"
   exec "$root/scripts/ci.sh" all
 fi
 

@@ -140,7 +140,7 @@ std::string serialize(const FootprintSweepRequest& req) {
   std::string s = "footprint{kernel=";
   s += to_string(req.kernel);
   s += ",fp_lo=" + hexf(req.fp_lo) + ",fp_hi=" + hexf(req.fp_hi);
-  s += ",points=" + std::to_string(req.points) + "}";
+  s += ",points=" + std::to_string(req.points) + "}";  // opm-lint: allow(float-print) — integer field
   return s;
 }
 

@@ -5,12 +5,12 @@
 #include <filesystem>
 #include <fstream>
 #include <list>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "util/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace opm::core {
 
@@ -70,15 +70,16 @@ struct ResultCache::Impl {
   };
 
   struct Shard {
-    std::mutex mutex;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<util::Digest128, std::list<Entry>::iterator, DigestHash> index;
+    util::Mutex mutex;
+    std::list<Entry> lru OPM_GUARDED_BY(mutex);  // front = most recently used
+    std::unordered_map<util::Digest128, std::list<Entry>::iterator, DigestHash> index
+        OPM_GUARDED_BY(mutex);
   };
 
   static constexpr std::size_t kShards = 16;
 
-  mutable std::mutex config_mutex;
-  CacheConfig config;
+  mutable util::Mutex config_mutex;
+  CacheConfig config OPM_GUARDED_BY(config_mutex);
   std::atomic<bool> enabled{false};
   std::atomic<std::size_t> per_shard_cap{4096 / kShards};
   Shard shards[kShards];
@@ -104,8 +105,8 @@ struct ResultCache::Impl {
 
   Shard& shard(const util::Digest128& key) { return shards[key.lo % kShards]; }
 
-  CacheConfig snapshot() const {
-    std::lock_guard lock(config_mutex);
+  CacheConfig snapshot() const OPM_EXCLUDES(config_mutex) {
+    util::MutexLock lock(config_mutex);
     return config;
   }
 
@@ -118,7 +119,7 @@ struct ResultCache::Impl {
   std::optional<std::vector<std::byte>> memory_find(const util::Digest128& key,
                                                     std::size_t elem_size) {
     Shard& s = shard(key);
-    std::lock_guard lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     auto it = s.index.find(key);
     if (it == s.index.end()) return std::nullopt;
     if (it->second->elem_size != elem_size) {
@@ -135,7 +136,7 @@ struct ResultCache::Impl {
                     std::vector<std::byte> payload) {
     const std::size_t cap = per_shard_cap.load(std::memory_order_relaxed);
     Shard& s = shard(key);
-    std::lock_guard lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     auto it = s.index.find(key);
     if (it != s.index.end()) {
       it->second->elem_size = elem_size;
@@ -193,9 +194,11 @@ struct ResultCache::Impl {
     fs::create_directories(cfg.dir, ec);
     if (ec) return false;
     const fs::path final_path = record_path(cfg, key);
-    const fs::path tmp_path =
-        fs::path(cfg.dir) / (".tmp-" + key.hex() + "-" +
-                             std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+    // Integer-only formatting of a scratch name, never a serialized
+    // result value, so the canonical-%a rule does not apply here.
+    const std::string tmp_seq =
+        std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));  // opm-lint: allow(float-print)
+    const fs::path tmp_path = fs::path(cfg.dir) / (".tmp-" + key.hex() + "-" + tmp_seq);
     {
       std::ofstream outf(tmp_path, std::ios::binary | std::ios::trunc);
       if (!outf) return false;
@@ -240,7 +243,7 @@ ResultCache& ResultCache::instance() {
 
 void ResultCache::configure(const CacheConfig& config) {
   {
-    std::lock_guard lock(impl_->config_mutex);
+    util::MutexLock lock(impl_->config_mutex);
     impl_->config = config;
   }
   impl_->enabled.store(config.enabled, std::memory_order_release);
@@ -279,7 +282,7 @@ void ResultCache::reset_stats() {
 
 void ResultCache::clear_memory() {
   for (auto& s : impl_->shards) {
-    std::lock_guard lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     s.lru.clear();
     s.index.clear();
   }

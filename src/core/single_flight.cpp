@@ -1,18 +1,19 @@
 #include "core/single_flight.hpp"
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "util/mutex.hpp"
 
 namespace opm::core {
 
 struct SingleFlight::Flight {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;       // guarded by mutex
-  Payload payload;         // set before done; nullptr = failed
+  util::Mutex mutex;
+  util::CondVar cv;
+  bool done OPM_GUARDED_BY(mutex) = false;
+  /// Set before done flips; nullptr = the leader failed.
+  Payload payload OPM_GUARDED_BY(mutex);
 };
 
 namespace {
@@ -24,16 +25,18 @@ struct DigestHash {
 }  // namespace
 
 struct SingleFlight::Impl {
-  std::mutex mutex;  // guards the key table
-  std::unordered_map<util::Digest128, std::shared_ptr<Flight>, DigestHash> flights;
+  util::Mutex mutex;  // guards the key table
+  std::unordered_map<util::Digest128, std::shared_ptr<Flight>, DigestHash> flights
+      OPM_GUARDED_BY(mutex);
 
   std::atomic<std::uint64_t> begun{0}, coalesced{0}, failures{0};
 
   /// Retires `flight`'s key (if it is still the registered flight) and
   /// publishes the outcome to every waiter.
-  void finish(const std::shared_ptr<Flight>& flight, Payload payload) {
+  void finish(const std::shared_ptr<Flight>& flight, Payload payload)
+      OPM_EXCLUDES(mutex) {
     {
-      std::lock_guard lock(mutex);
+      util::MutexLock lock(mutex);
       for (auto it = flights.begin(); it != flights.end(); ++it) {
         if (it->second == flight) {
           flights.erase(it);
@@ -41,12 +44,13 @@ struct SingleFlight::Impl {
         }
       }
     }
+    Flight& f = *flight;
     {
-      std::lock_guard lock(flight->mutex);
-      flight->payload = std::move(payload);
-      flight->done = true;
+      util::MutexLock lock(f.mutex);
+      f.payload = std::move(payload);
+      f.done = true;
     }
-    flight->cv.notify_all();
+    f.cv.notify_all();
   }
 };
 
@@ -55,7 +59,7 @@ SingleFlight::~SingleFlight() { delete impl_; }
 
 std::shared_ptr<SingleFlight::Flight> SingleFlight::try_begin(const util::Digest128& key,
                                                               bool* leader) {
-  std::lock_guard lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   auto it = impl_->flights.find(key);
   if (it != impl_->flights.end()) {
     if (leader) *leader = false;
@@ -70,9 +74,10 @@ std::shared_ptr<SingleFlight::Flight> SingleFlight::try_begin(const util::Digest
 }
 
 SingleFlight::Payload SingleFlight::share(const std::shared_ptr<Flight>& flight) {
-  std::unique_lock lock(flight->mutex);
-  flight->cv.wait(lock, [&] { return flight->done; });
-  return flight->payload;
+  Flight& f = *flight;
+  util::MutexLock lock(f.mutex);
+  while (!f.done) f.cv.wait(f.mutex);
+  return f.payload;
 }
 
 void SingleFlight::complete(const std::shared_ptr<Flight>& flight, Payload payload) {
@@ -91,7 +96,7 @@ SingleFlight::Stats SingleFlight::stats() const {
 }
 
 std::size_t SingleFlight::in_flight() const {
-  std::lock_guard lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   return impl_->flights.size();
 }
 

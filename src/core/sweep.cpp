@@ -3,13 +3,13 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "core/result_cache.hpp"
 #include "util/csv.hpp"
 #include "util/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace opm::core {
 
@@ -21,12 +21,13 @@ std::size_t default_workers() {
 }
 
 struct Engine {
-  std::mutex mutex;                       // guards pool (re)construction
-  std::unique_ptr<util::ThreadPool> pool;  // nullptr until first parallel sweep
+  util::Mutex mutex;  // guards pool (re)construction
+  /// nullptr until the first parallel sweep constructs it.
+  std::unique_ptr<util::ThreadPool> pool OPM_GUARDED_BY(mutex);
   std::atomic<std::size_t> workers{default_workers()};
 
-  std::mutex log_mutex;
-  std::deque<SweepStats> log;
+  util::Mutex log_mutex;
+  std::deque<SweepStats> log OPM_GUARDED_BY(log_mutex);
 };
 
 Engine& engine() {
@@ -49,7 +50,7 @@ void record(SweepStats s) {
   reg.double_counter("sweep.busy_seconds").add(s.busy_seconds);
 
   Engine& e = engine();
-  std::lock_guard lock(e.log_mutex);
+  util::MutexLock lock(e.log_mutex);
   if (e.log.size() >= kLogCapacity) e.log.pop_front();
   e.log.push_back(std::move(s));
 }
@@ -58,7 +59,7 @@ void record(SweepStats s) {
 
 void set_sweep_workers(std::size_t n) {
   Engine& e = engine();
-  std::lock_guard lock(e.mutex);
+  util::MutexLock lock(e.mutex);
   e.workers.store(n, std::memory_order_relaxed);
   if (e.pool && e.pool->workers() != n) e.pool.reset();
 }
@@ -67,13 +68,13 @@ std::size_t sweep_workers() { return engine().workers.load(std::memory_order_rel
 
 std::vector<SweepStats> sweep_stats_log() {
   Engine& e = engine();
-  std::lock_guard lock(e.log_mutex);
+  util::MutexLock lock(e.log_mutex);
   return {e.log.begin(), e.log.end()};
 }
 
 std::vector<SweepStats> drain_sweep_stats() {
   Engine& e = engine();
-  std::lock_guard lock(e.log_mutex);
+  util::MutexLock lock(e.log_mutex);
   std::vector<SweepStats> out(e.log.begin(), e.log.end());
   e.log.clear();
   return out;
@@ -112,7 +113,7 @@ util::ThreadPool* sweep_pool() {
   Engine& e = engine();
   const std::size_t n = e.workers.load(std::memory_order_relaxed);
   if (n == 0) return nullptr;
-  std::lock_guard lock(e.mutex);
+  util::MutexLock lock(e.mutex);
   if (!e.pool || e.pool->workers() != n)
     e.pool = std::make_unique<util::ThreadPool>(n);
   return e.pool.get();
@@ -174,7 +175,7 @@ namespace {
 bool top_level_sweep() {
   if (t_sweep_depth > 0) return false;
   Engine& e = engine();
-  std::lock_guard lock(e.mutex);
+  util::MutexLock lock(e.mutex);
   return !(e.pool && e.pool->on_worker_thread());
 }
 
@@ -198,7 +199,7 @@ void record_cache_hit(const char* name, std::size_t items, const CacheProbe& pro
 
 void annotate_cache_miss(const char* name, const CacheProbe& probe) {
   Engine& e = engine();
-  std::lock_guard lock(e.log_mutex);
+  util::MutexLock lock(e.log_mutex);
   for (auto it = e.log.rbegin(); it != e.log.rend(); ++it) {
     if (it->name != name) continue;
     it->cache_misses += 1;

@@ -1,10 +1,8 @@
 #include "serve/dispatcher.hpp"
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +10,7 @@
 
 #include "core/single_flight.hpp"
 #include "util/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace opm::serve {
 
@@ -53,20 +52,23 @@ struct Dispatcher::Impl {
   util::Counter& rejected_draining;
   util::Counter& errors_internal;
 
-  mutable std::mutex mutex;
-  std::condition_variable work_cv;     // workers: queued work is available
-  std::condition_variable drained_cv;  // drain(): queue + in-flight ran dry
-  std::unordered_map<std::uint64_t, std::deque<Item>> queues;
-  std::deque<std::uint64_t> rr;  // clients with non-empty queues, service order
-  std::size_t queued = 0;
-  std::size_t in_flight = 0;
-  bool draining = false;
-  bool stopping = false;
+  mutable util::Mutex mutex;
+  util::CondVar work_cv;     // workers: queued work is available
+  util::CondVar drained_cv;  // drain(): queue + in-flight ran dry
+  std::unordered_map<std::uint64_t, std::deque<Item>> queues OPM_GUARDED_BY(mutex);
+  /// Clients with non-empty queues, in service order.
+  std::deque<std::uint64_t> rr OPM_GUARDED_BY(mutex);
+  std::size_t queued_count OPM_GUARDED_BY(mutex) = 0;
+  std::size_t in_flight_count OPM_GUARDED_BY(mutex) = 0;
+  bool draining OPM_GUARDED_BY(mutex) = false;
+  bool stopping OPM_GUARDED_BY(mutex) = false;
 
-  std::mutex drain_mutex;  // serializes drain() callers
-  bool drained = false;
+  util::Mutex drain_mutex;  // serializes drain() callers
+  bool drained OPM_GUARDED_BY(drain_mutex) = false;
 
   core::SingleFlight flights;
+  /// Spawned by the constructor, joined by drain() — the drain_mutex
+  /// serializes the only post-construction access.
   std::vector<std::thread> workers;
 
   void answer(const Respond& respond, std::string line) {
@@ -110,16 +112,13 @@ struct Dispatcher::Impl {
     }
   }
 
-  void worker_loop() {
+  void worker_loop() OPM_EXCLUDES(mutex) {
     for (;;) {
       Item item;
       {
-        std::unique_lock lock(mutex);
-        work_cv.wait(lock, [&] { return stopping || queued > 0; });
-        if (queued == 0) {
-          if (stopping) return;
-          continue;
-        }
+        util::MutexLock lock(mutex);
+        while (!stopping && queued_count == 0) work_cv.wait(mutex);
+        if (queued_count == 0) return;  // stopping with an empty queue
         const std::uint64_t client = rr.front();
         rr.pop_front();
         auto it = queues.find(client);
@@ -130,13 +129,13 @@ struct Dispatcher::Impl {
         } else {
           rr.push_back(client);  // fairness: back of the line after one item
         }
-        --queued;
-        ++in_flight;
+        --queued_count;
+        ++in_flight_count;
       }
       process(std::move(item));
       {
-        std::lock_guard lock(mutex);
-        --in_flight;
+        util::MutexLock lock(mutex);
+        --in_flight_count;
       }
       drained_cv.notify_all();
     }
@@ -169,13 +168,13 @@ void Dispatcher::submit(std::uint64_t client, protocol::Request req, Respond res
 
   bool draining = false;
   {
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     draining = impl_->draining;
-    if (!draining && impl_->queued < impl_->config.queue_depth) {
+    if (!draining && impl_->queued_count < impl_->config.queue_depth) {
       auto& q = impl_->queues[client];
       if (q.empty()) impl_->rr.push_back(client);
       q.push_back(Impl::Item{std::move(req), std::move(respond)});
-      ++impl_->queued;
+      ++impl_->queued_count;
       impl_->admitted.add(1);
       impl_->work_cv.notify_one();
       return;
@@ -198,12 +197,13 @@ void Dispatcher::submit(std::uint64_t client, protocol::Request req, Respond res
 }
 
 void Dispatcher::drain() {
-  std::lock_guard serial(impl_->drain_mutex);
+  util::MutexLock serial(impl_->drain_mutex);
   if (impl_->drained) return;
   {
-    std::unique_lock lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     impl_->draining = true;
-    impl_->drained_cv.wait(lock, [&] { return impl_->queued == 0 && impl_->in_flight == 0; });
+    while (impl_->queued_count != 0 || impl_->in_flight_count != 0)
+      impl_->drained_cv.wait(impl_->mutex);
     impl_->stopping = true;
   }
   impl_->work_cv.notify_all();
@@ -215,9 +215,9 @@ void Dispatcher::drain() {
 std::string Dispatcher::stats_json() const {
   std::size_t queued = 0, in_flight = 0;
   {
-    std::lock_guard lock(impl_->mutex);
-    queued = impl_->queued;
-    in_flight = impl_->in_flight;
+    util::MutexLock lock(impl_->mutex);
+    queued = impl_->queued_count;
+    in_flight = impl_->in_flight_count;
   }
   const auto& reg = util::MetricsRegistry::instance();
   std::ostringstream os;
@@ -228,13 +228,13 @@ std::string Dispatcher::stats_json() const {
 }
 
 std::size_t Dispatcher::queued() const {
-  std::lock_guard lock(impl_->mutex);
-  return impl_->queued;
+  util::MutexLock lock(impl_->mutex);
+  return impl_->queued_count;
 }
 
 std::size_t Dispatcher::in_flight() const {
-  std::lock_guard lock(impl_->mutex);
-  return impl_->in_flight;
+  util::MutexLock lock(impl_->mutex);
+  return impl_->in_flight_count;
 }
 
 }  // namespace opm::serve

@@ -294,7 +294,7 @@ std::string render_points_csv(const std::vector<core::SweepPoint>& points) {
     out += ',';
     out += hexf(p.nnz);
     out += ',';
-    out += std::to_string(p.input_id);
+    out += std::to_string(p.input_id);  // opm-lint: allow(float-print) — integer id
     out += '\n';
   }
   return out;

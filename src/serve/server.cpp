@@ -10,12 +10,12 @@
 #include <csignal>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace opm::serve {
 
@@ -27,15 +27,31 @@ namespace {
 /// serializes concurrent responses from different dispatcher workers and
 /// makes close-vs-write safe.
 struct Conn {
-  int fd = -1;
-  bool is_socket = true;
-  bool owns_fd = true;
-  std::mutex mutex;
-  bool open = true;
+  util::Mutex mutex;
+  int fd OPM_GUARDED_BY(mutex) = -1;
+  bool is_socket OPM_GUARDED_BY(mutex) = true;
+  bool owns_fd OPM_GUARDED_BY(mutex) = true;
+  bool open OPM_GUARDED_BY(mutex) = true;
 
-  void write_line(std::string line) {
+  /// Publishes the fd and its flavor; called once, before the Conn is
+  /// shared with any writer.
+  void init(int new_fd, bool socket, bool owns) OPM_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
+    fd = new_fd;
+    is_socket = socket;
+    owns_fd = owns;
+  }
+
+  /// The fd a reader loop should consume (readers never race close_fd:
+  /// the reader itself is the closer).
+  int read_fd() OPM_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
+    return fd;
+  }
+
+  void write_line(std::string line) OPM_EXCLUDES(mutex) {
     line.push_back('\n');
-    std::lock_guard lock(mutex);
+    util::MutexLock lock(mutex);
     if (!open || fd < 0) return;  // client went away: drop the response
     const char* p = line.data();
     std::size_t left = line.size();
@@ -53,14 +69,14 @@ struct Conn {
 
   /// Wakes a reader blocked in read() and stops future writes. The fd is
   /// closed by whoever owns the reader loop, after it exits.
-  void request_close() {
-    std::lock_guard lock(mutex);
+  void request_close() OPM_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
     open = false;
     if (fd >= 0 && is_socket) ::shutdown(fd, SHUT_RDWR);
   }
 
-  void close_fd() {
-    std::lock_guard lock(mutex);
+  void close_fd() OPM_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
     open = false;
     if (fd >= 0 && owns_fd) ::close(fd);
     fd = -1;
@@ -82,9 +98,9 @@ struct Server::Impl {
   bool started = false;
   bool waited = false;
 
-  std::mutex conns_mutex;
-  std::vector<std::shared_ptr<Conn>> conns;
-  std::vector<std::thread> readers;
+  util::Mutex conns_mutex;
+  std::vector<std::shared_ptr<Conn>> conns OPM_GUARDED_BY(conns_mutex);
+  std::vector<std::thread> readers OPM_GUARDED_BY(conns_mutex);
   std::atomic<std::uint64_t> next_client{1};
 
   /// Handles one complete request line for `client`, answering through
@@ -144,7 +160,7 @@ struct Server::Impl {
   }
 
   void reader_main(std::shared_ptr<Conn> conn, std::uint64_t client) {
-    read_loop(conn->fd, client, conn);
+    read_loop(conn->read_fd(), client, conn);
     conn->close_fd();  // EOF, error, or oversized: this reader owns the fd
   }
 
@@ -162,10 +178,9 @@ struct Server::Impl {
       const int cfd = ::accept(listen_fd, nullptr, nullptr);
       if (cfd < 0) continue;
       auto conn = std::make_shared<Conn>();
-      conn->fd = cfd;
-      conn->is_socket = true;
+      conn->init(cfd, /*socket=*/true, /*owns=*/true);
       const std::uint64_t client = next_client.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard lock(conns_mutex);
+      util::MutexLock lock(conns_mutex);
       conns.push_back(conn);
       readers.emplace_back([this, conn, client] { reader_main(conn, client); });
     }
@@ -251,21 +266,24 @@ void Server::wait() {
   //    sending get structured "draining" rejections, and every response
   //    for queued/in-flight work is written before drain() returns.
   impl_->dispatcher.drain();
-  // 3. Tear down connections and join their readers.
+  // 3. Tear down connections and join their readers. The accept loop is
+  //    already joined, so swapping the containers out under the lock gives
+  //    this thread sole ownership of both.
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::vector<std::thread> readers;
   {
-    std::lock_guard lock(impl_->conns_mutex);
-    for (const auto& conn : impl_->conns) conn->request_close();
+    util::MutexLock lock(impl_->conns_mutex);
+    conns.swap(impl_->conns);
+    readers.swap(impl_->readers);
   }
-  for (auto& t : impl_->readers) t.join();
-  impl_->readers.clear();
+  for (const auto& conn : conns) conn->request_close();
+  for (auto& t : readers) t.join();
 }
 
 void Server::serve_stream(int in_fd, int out_fd) {
   ::signal(SIGPIPE, SIG_IGN);
   auto conn = std::make_shared<Conn>();
-  conn->fd = out_fd;
-  conn->is_socket = false;
-  conn->owns_fd = false;
+  conn->init(out_fd, /*socket=*/false, /*owns=*/false);
   const std::uint64_t client = impl_->next_client.fetch_add(1, std::memory_order_relaxed);
   impl_->read_loop(in_fd, client, conn);
   // EOF: answer everything already admitted, then hand the stream back.

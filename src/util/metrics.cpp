@@ -2,17 +2,22 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
+
+#include "util/mutex.hpp"
 
 namespace opm::util {
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mutex;
+  mutable Mutex mutex;
   // Nodes are heap-allocated so references handed out by counter() stay
-  // valid across rehashes/inserts.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<DoubleCounter>, std::less<>> doubles;
+  // valid across rehashes/inserts; the maps themselves are only touched
+  // under the mutex, while the atomic counters inside the nodes are bumped
+  // lock-free through those stable references.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      OPM_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<DoubleCounter>, std::less<>> doubles
+      OPM_GUARDED_BY(mutex);
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
@@ -24,7 +29,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto it = impl_->counters.find(name);
   if (it == impl_->counters.end())
     it = impl_->counters.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -32,7 +37,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 DoubleCounter& MetricsRegistry::double_counter(std::string_view name) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto it = impl_->doubles.find(name);
   if (it == impl_->doubles.end())
     it = impl_->doubles.emplace(std::string(name), std::make_unique<DoubleCounter>()).first;
@@ -41,7 +46,7 @@ DoubleCounter& MetricsRegistry::double_counter(std::string_view name) {
 
 std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters(
     std::string_view prefix) const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   for (const auto& [name, c] : impl_->counters)
     if (name.starts_with(prefix)) out.emplace_back(name, c->value());
@@ -50,7 +55,7 @@ std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters(
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::double_counters(
     std::string_view prefix) const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   std::vector<std::pair<std::string, double>> out;
   for (const auto& [name, c] : impl_->doubles)
     if (name.starts_with(prefix)) out.emplace_back(name, c->value());
@@ -61,7 +66,7 @@ std::string MetricsRegistry::json(std::string_view prefix) const {
   // Merge the (already name-sorted) kinds into one sorted object.
   std::map<std::string, std::string> rendered;
   {
-    std::lock_guard lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     for (const auto& [name, c] : impl_->counters)
       if (name.starts_with(prefix)) rendered[name] = std::to_string(c->value());
     for (const auto& [name, c] : impl_->doubles)
@@ -83,7 +88,7 @@ std::string MetricsRegistry::json(std::string_view prefix) const {
 }
 
 void MetricsRegistry::reset(std::string_view prefix) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   for (auto& [name, c] : impl_->counters)
     if (name.starts_with(prefix)) c->reset();
   for (auto& [name, c] : impl_->doubles)

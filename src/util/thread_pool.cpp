@@ -36,9 +36,9 @@ struct ThreadPool::Batch {
 
   std::atomic<std::size_t> remaining;
   std::atomic<bool> failed{false};
-  std::exception_ptr first_exception;  // guarded by mutex
-  std::mutex mutex;
-  std::condition_variable cv;  // signalled when remaining reaches 0
+  Mutex mutex;
+  std::exception_ptr first_exception OPM_GUARDED_BY(mutex);
+  CondVar cv;  // signalled when remaining reaches 0
 };
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -51,7 +51,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     stopping_ = true;
   }
   sleep_cv_.notify_all();
@@ -65,23 +65,23 @@ void ThreadPool::worker_loop(std::size_t index) {
   tls_index = index;
   for (;;) {
     if (run_one_task(index)) continue;
-    std::unique_lock lock(sleep_mutex_);
-    sleep_cv_.wait(lock, [this] {
-      return stopping_ || pending_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(sleep_mutex_);
+    while (!stopping_ && pending_.load(std::memory_order_acquire) == 0)
+      sleep_cv_.wait(sleep_mutex_);
     if (stopping_ && pending_.load(std::memory_order_acquire) == 0) return;
   }
 }
 
 void ThreadPool::push_task(std::size_t slot, Task task) {
   {
-    std::lock_guard lock(slots_[slot]->mutex);
-    slots_[slot]->deque.push_back(std::move(task));
+    Worker& w = *slots_[slot];
+    MutexLock lock(w.mutex);
+    w.deque.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   // Lock/unlock pairs the notify with any waiter between its predicate
   // check and its wait, so the wakeup cannot be lost.
-  { std::lock_guard lock(sleep_mutex_); }
+  { MutexLock lock(sleep_mutex_); }
   sleep_cv_.notify_one();
 }
 
@@ -94,7 +94,7 @@ bool ThreadPool::run_one_task(std::size_t self) {
   // parallel loops, depth-first.
   {
     Worker& me = *slots_[self];
-    std::lock_guard lock(me.mutex);
+    MutexLock lock(me.mutex);
     if (!me.deque.empty()) {
       task = std::move(me.deque.back());
       me.deque.pop_back();
@@ -106,7 +106,7 @@ bool ThreadPool::run_one_task(std::size_t self) {
   if (!have) {
     for (std::size_t k = 1; k < slots_.size() && !have; ++k) {
       Worker& victim = *slots_[(self + k) % slots_.size()];
-      std::lock_guard lock(victim.mutex);
+      MutexLock lock(victim.mutex);
       if (!victim.deque.empty()) {
         task = std::move(victim.deque.front());
         victim.deque.pop_front();
@@ -139,11 +139,11 @@ void ThreadPool::help_until_done(Batch& batch) {
     if (run_one_task(self)) continue;
     // Nothing runnable anywhere: the batch's last tasks are in flight on
     // other threads. Sleep until the batch signals (or briefly, in case
-    // new stealable work appears via nesting).
-    std::unique_lock lock(batch.mutex);
-    batch.cv.wait_for(lock, 100us, [&batch] {
-      return batch.remaining.load(std::memory_order_acquire) == 0;
-    });
+    // new stealable work appears via nesting). The outer while re-checks
+    // the join condition, so a timeout or spurious wakeup is harmless.
+    MutexLock lock(batch.mutex);
+    if (batch.remaining.load(std::memory_order_acquire) != 0)
+      batch.cv.wait_for(batch.mutex, 100us);
   }
 }
 
@@ -169,7 +169,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
         try {
           for (std::size_t i = lo; i < hi; ++i) body(i);
         } catch (...) {
-          std::lock_guard lock(batch.mutex);
+          MutexLock lock(batch.mutex);
           if (!batch.first_exception) batch.first_exception = std::current_exception();
           batch.failed.store(true, std::memory_order_relaxed);
         }
@@ -179,7 +179,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
       // done touching the batch, so the Batch (mutex + cv) is never
       // destroyed while a finisher is still inside notify_all.
       {
-        std::lock_guard lock(batch.mutex);
+        MutexLock lock(batch.mutex);
         if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
           batch.cv.notify_all();
       }
@@ -199,7 +199,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
     // Pairs with the locked final decrement in the task epilogue: once
     // this lock is held, no task can still be inside the batch's
     // mutex/cv, so it is safe to read the exception and destroy Batch.
-    std::lock_guard lock(batch.mutex);
+    MutexLock lock(batch.mutex);
     err = batch.first_exception;
   }
   if (err) std::rethrow_exception(err);

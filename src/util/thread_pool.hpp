@@ -1,17 +1,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_safety.hpp"
 
 /// Work-stealing worker pool.
 ///
@@ -95,8 +96,8 @@ class ThreadPool {
   /// One worker's deque plus its counters, padded to a cache line so the
   /// hot-path counter updates never false-share.
   struct alignas(64) Worker {
-    mutable std::mutex mutex;
-    std::deque<Task> deque;
+    mutable Mutex mutex;
+    std::deque<Task> deque OPM_GUARDED_BY(mutex);
     std::atomic<std::uint64_t> tasks{0};
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> busy_ns{0};
@@ -104,25 +105,28 @@ class ThreadPool {
 
   struct Batch;
 
-  void worker_loop(std::size_t index);
-  void push_task(std::size_t slot, Task task);
+  void worker_loop(std::size_t index) OPM_EXCLUDES(sleep_mutex_);
+  void push_task(std::size_t slot, Task task) OPM_EXCLUDES(sleep_mutex_);
   /// Pops or steals one task and runs it; `self` is the calling worker's
   /// index, or workers() for helping external threads. Returns false when
   /// no task was available anywhere.
   bool run_one_task(std::size_t self);
   void help_until_done(Batch& batch);
 
+  /// Touched only by the constructor and destructor, which cannot race by
+  /// the object-lifetime rules — no capability needed.
   std::vector<std::thread> threads_;
   /// workers() + 1 slots: one per worker plus a shared slot that both
   /// receives external submissions and accumulates external helpers'
-  /// counters.
+  /// counters. The vector itself is immutable after construction; each
+  /// Worker guards its own deque.
   std::vector<std::unique_ptr<Worker>> slots_;
   std::atomic<std::size_t> next_slot_{0};  ///< round-robin external placement
 
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  Mutex sleep_mutex_;
+  CondVar sleep_cv_;
   std::atomic<std::size_t> pending_{0};  ///< tasks sitting in deques
-  bool stopping_ = false;
+  bool stopping_ OPM_GUARDED_BY(sleep_mutex_) = false;
 };
 
 }  // namespace opm::util

@@ -299,7 +299,7 @@ TEST(ThreadPoolEdge, TenThousandTaskChurnFromManySubmitters) {
   constexpr int kSubmitters = 5;
   constexpr int kRounds = 20;
   constexpr std::size_t kTasks = 100;  // grain 1 -> one pool task per index
-  std::vector<std::thread> submitters;
+  std::vector<std::thread> submitters;  // opm-lint: allow(thread-ownership) — contention fixture
   for (int t = 0; t < kSubmitters; ++t) {
     submitters.emplace_back([&] {
       for (int round = 0; round < kRounds; ++round)

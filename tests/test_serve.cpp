@@ -215,7 +215,7 @@ TEST(SingleFlight, LeaderComputesFollowersShare) {
   ASSERT_TRUE(leader);
 
   constexpr int kFollowers = 4;
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // opm-lint: allow(thread-ownership) — raw threads ARE the fixture
   std::vector<core::SingleFlight::Payload> got(kFollowers);
   std::atomic<int> joined{0};
   for (int i = 0; i < kFollowers; ++i) {
@@ -256,7 +256,8 @@ TEST(SingleFlight, FailurePoisonsNobody) {
   bool follower_leader = true;
   auto follower = flights.try_begin(key, &follower_leader);
   ASSERT_FALSE(follower_leader);
-  std::thread t([&] { EXPECT_EQ(flights.share(follower), nullptr); });
+  std::thread t(  // opm-lint: allow(thread-ownership) — raw thread is the fixture
+      [&] { EXPECT_EQ(flights.share(follower), nullptr); });
   flights.fail(flight);
   t.join();
   EXPECT_EQ(flights.stats().failures, 1u);
@@ -697,7 +698,7 @@ TEST_F(ServeTest, ConcurrentClientsCoalesceToByteIdenticalResponses) {
   constexpr int kClients = 8;
   constexpr int kPerClient = 4;  // duplicate-heavy: 32 requests, 2 unique
   std::atomic<int> ok_count{0}, mismatch_count{0}, fail_count{0};
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // opm-lint: allow(thread-ownership) — raw threads ARE the fixture
   for (int c = 0; c < kClients; ++c) {
     threads.emplace_back([&, c] {
       TestClient client;
@@ -745,7 +746,7 @@ TEST_F(ServeTest, ServeStreamDrivesStdioModeOverPipes) {
   serve::ServerConfig sc;
   sc.socket_path = test_socket_path("stdio");  // unused: no listener started
   serve::Server server(sc);
-  std::thread service([&] {
+  std::thread service([&] {  // opm-lint: allow(thread-ownership) — stream-mode server needs its own thread
     server.serve_stream(to_server[0], from_server[1]);
     ::close(from_server[1]);  // EOF for our reader below
   });
