@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Static-analysis + sanitizer + cache + serve CI for the tier-1 test suite.
+# Static-analysis + sanitizer + cache + serve + perf CI for the tier-1
+# test suite.
 #
-#   ./scripts/ci.sh [static|thread|address|undefined|cache|serve|all]
+#   ./scripts/ci.sh [static|thread|address|undefined|cache|serve|perf|all]
 #   (default: all)
 #
 # The static job runs FIRST and needs no test execution: it builds only the
@@ -33,6 +34,14 @@
 # deduplication, structured overload rejections), the same gates against
 # an external server over its Unix socket, and a SIGTERM mid-load that
 # must drain gracefully — exit 0, no orphaned socket file.
+#
+# The perf job builds Release and runs bench/sim_hotpath --quick: the flat
+# SoA cache core must be behavior-identical to the retained reference
+# model on every platform configuration AND >= 2x its lines/sec; the
+# BENCH_sim.json it writes is the uploadable benchmark artifact. The
+# sanitizer jobs above keep instrumenting the reference-model path too:
+# ctest runs test_sim_differential, which drives SetAssociativeCache and
+# ReferenceMemorySystem alongside the flat core.
 #
 # Fail-fast: set -e aborts on the first failing job; the EXIT trap prints
 # a summary of which jobs ran and where the run stopped.
@@ -171,6 +180,17 @@ run_serve() {
   echo "   opm_serve drained: exit 0, socket removed"
 }
 
+run_perf() {
+  local dir="build-perf"
+  echo "== [perf] configure & build Release ($dir)"
+  cmake -B "$root/$dir" -G Ninja -S "$root" \
+        -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$root/$dir" --target sim_hotpath
+  echo "== [perf] sim_hotpath --quick (behavior-identity + >= 2x lines/sec gate)"
+  "$root/$dir/bench/sim_hotpath" --quick --out="$root/$dir/BENCH_sim.json"
+  echo "   benchmark artifact: $dir/BENCH_sim.json"
+}
+
 case "$mode" in
   static)    run_job static run_static ;;
   thread)    run_job thread run_one thread build-tsan ;;
@@ -178,13 +198,15 @@ case "$mode" in
   undefined) run_job undefined run_one undefined build-ubsan ;;
   cache)     run_job cache run_cache ;;
   serve)     run_job serve run_serve ;;
+  perf)      run_job perf run_perf ;;
   all)       run_job static run_static
              run_job thread run_one thread build-tsan
              run_job address run_one address build-asan
              run_job undefined run_one undefined build-ubsan
              run_job cache run_cache
-             run_job serve run_serve ;;
-  *) echo "usage: $0 [static|thread|address|undefined|cache|serve|all]" >&2; exit 2 ;;
+             run_job serve run_serve
+             run_job perf run_perf ;;
+  *) echo "usage: $0 [static|thread|address|undefined|cache|serve|perf|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: suite(s) green"

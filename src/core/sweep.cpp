@@ -48,6 +48,7 @@ void record(SweepStats s) {
   reg.counter("sweep.steals").add(s.steals);
   reg.double_counter("sweep.wall_seconds").add(s.wall_seconds);
   reg.double_counter("sweep.busy_seconds").add(s.busy_seconds);
+  reg.counter("sweep.sim_lines").add(s.sim_lines);
 
   Engine& e = engine();
   util::MutexLock lock(e.log_mutex);
@@ -84,11 +85,12 @@ void write_sweep_stats_csv(std::ostream& os, const std::vector<SweepStats>& stat
   util::CsvWriter csv(os);
   csv.header({"sweep", "workers", "items", "tasks", "steals", "wall_s", "busy_s",
               "speedup_est", "cache_hits", "cache_misses", "cache_loaded_b",
-              "cache_stored_b", "cache_s", "cache_src"});
+              "cache_stored_b", "cache_s", "cache_src", "sim_lines", "sim_lines_per_s"});
   for (const auto& s : stats)
     csv.row(s.name, s.workers, s.items, s.tasks, s.steals, s.wall_seconds, s.busy_seconds,
             s.speedup_estimate(), s.cache_hits, s.cache_misses, s.cache_bytes_loaded,
-            s.cache_bytes_stored, s.cache_seconds, s.cache_source);
+            s.cache_bytes_stored, s.cache_seconds, s.cache_source, s.sim_lines,
+            s.sim_lines_per_sec());
 }
 
 std::string sweep_stats_json(const SweepStats& s) {
@@ -100,7 +102,8 @@ std::string sweep_stats_json(const SweepStats& s) {
      << s.cache_hits << ",\"misses\":" << s.cache_misses << ",\"loaded_b\":"
      << s.cache_bytes_loaded << ",\"stored_b\":" << s.cache_bytes_stored
      << ",\"seconds\":" << s.cache_seconds << ",\"source\":\"" << s.cache_source
-     << "\"},\"worker_busy_s\":[";
+     << "\"},\"sim_lines\":" << s.sim_lines
+     << ",\"sim_lines_per_s\":" << s.sim_lines_per_sec() << ",\"worker_busy_s\":[";
   for (std::size_t i = 0; i < s.worker_busy_seconds.size(); ++i)
     os << (i ? "," : "") << s.worker_busy_seconds[i];
   os << "]}";
@@ -134,6 +137,7 @@ SweepTimer::SweepTimer(const char* name, std::size_t items, util::ThreadPool* po
   if (t_sweep_depth > 1 || (pool_ && pool_->on_worker_thread())) return;
   active_ = true;
   if (pool_) before_ = pool_->worker_counters();
+  sim_lines_before_ = util::MetricsRegistry::instance().counter("sim.lines_simulated").value();
   t0_ = std::chrono::steady_clock::now();
 }
 
@@ -148,6 +152,11 @@ void SweepTimer::stop() {
   s.items = items_;
   s.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  // Simulated-line delta over the sweep. MemorySystems publish their line
+  // counts at report()/reset()/destruction (watermark scheme), all of
+  // which happen inside the per-item task for trace-driven sweeps.
+  s.sim_lines = util::MetricsRegistry::instance().counter("sim.lines_simulated").value() -
+                sim_lines_before_;
   if (pool_ == nullptr) {
     s.workers = 0;
     s.tasks = 1;

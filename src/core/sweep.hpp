@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <type_traits>
@@ -52,10 +53,21 @@ struct SweepStats {
   double cache_seconds = 0.0;  ///< cache lookup + store time
   std::string cache_source;    ///< "", "memory", "disk", or the miss reason
 
+  /// Simulator throughput: line-granular accesses the trace-driven
+  /// MemorySystem walked during this sweep (delta of the process-wide
+  /// "sim.lines_simulated" metric; 0 for purely analytical sweeps).
+  std::uint64_t sim_lines = 0;
+
   /// busy_seconds approximates the serial wall time of the same sweep, so
   /// busy/wall estimates the speedup actually delivered by the pool.
   double speedup_estimate() const {
     return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 1.0;
+  }
+
+  /// Simulated lines per wall second (the sim hot-path throughput this
+  /// sweep actually saw; 0 when no simulation ran).
+  double sim_lines_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(sim_lines) / wall_seconds : 0.0;
   }
 
   bool operator==(const SweepStats&) const = default;
@@ -119,6 +131,7 @@ class SweepTimer {
   bool active_ = false;
   bool stopped_ = false;
   std::vector<util::ThreadPool::WorkerCounters> before_;
+  std::uint64_t sim_lines_before_ = 0;  ///< "sim.lines_simulated" watermark
   std::chrono::steady_clock::time_point t0_;
 };
 

@@ -223,7 +223,7 @@ std::string Dispatcher::stats_json() const {
   std::ostringstream os;
   os << "{\"queued\":" << queued << ",\"in_flight\":" << in_flight
      << ",\"serve\":" << reg.json("serve.") << ",\"cache\":" << reg.json("cache.")
-     << ",\"sweep\":" << reg.json("sweep.") << "}";
+     << ",\"sweep\":" << reg.json("sweep.") << ",\"sim\":" << reg.json("sim.") << "}";
   return os.str();
 }
 

@@ -5,13 +5,21 @@
 #include <unordered_map>
 #include <vector>
 
-/// Trace-driven set-associative cache model.
+/// Trace-driven set-associative cache model — the REFERENCE implementation.
 ///
 /// This is the exact (per-line-access) cache used for validating the
 /// analytical models: kernels stream their real address traces through a
 /// stack of these. Sets are allocated lazily in a hash map so very large
 /// caches (e.g. the 16 GB MCDRAM direct-mapped cache) only cost memory for
 /// the lines actually touched.
+///
+/// Production simulation runs on FlatCache (sim/flat_cache.hpp), a
+/// structure-of-arrays rewrite of this model tuned for lines/sec.
+/// SetAssociativeCache is deliberately retained as the readable executable
+/// spec: tests/test_sim_differential.cpp drives both with identical traces
+/// and requires identical observable behavior, and the sanitizer CI jobs
+/// exercise this model through ReferenceMemorySystem. Behavior changes
+/// must land in BOTH models (the differential suite fails otherwise).
 namespace opm::sim {
 
 /// Way-replacement policy of a set.
@@ -44,6 +52,8 @@ struct CacheResult {
   bool evicted = false;          ///< an existing line was displaced
   bool evicted_dirty = false;    ///< the displaced line was dirty
   std::uint64_t evicted_addr = 0;  ///< line-aligned address of displaced line
+
+  bool operator==(const CacheResult&) const = default;
 };
 
 /// Hit/miss/writeback counters for one cache instance.
@@ -58,6 +68,8 @@ struct CacheStats {
     const auto n = accesses();
     return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
   }
+
+  bool operator==(const CacheStats&) const = default;
 };
 
 /// Write-back, write-allocate LRU cache (per-line state only; data payloads

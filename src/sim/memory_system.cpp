@@ -1,6 +1,9 @@
 #include "sim/memory_system.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "util/metrics.hpp"
 
 namespace opm::sim {
 
@@ -10,44 +13,65 @@ std::uint64_t TrafficReport::device_bytes() const {
   return total;
 }
 
+bool TrafficReport::has(const std::string& name) const {
+  for (const auto& t : tiers)
+    if (t.name == name) return true;
+  for (const auto& d : devices)
+    if (d.name == name) return true;
+  return false;
+}
+
 std::uint64_t TrafficReport::bytes_from(const std::string& name) const {
   for (const auto& t : tiers)
     if (t.name == name) return t.bytes_served;
   for (const auto& d : devices)
     if (d.name == name) return d.bytes_served;
-  return 0;
+  throw std::out_of_range("TrafficReport::bytes_from: no tier or device named '" + name + "'");
 }
 
-MemorySystem::MemorySystem(const Platform& platform)
+template <class CacheT>
+MemorySystemT<CacheT>::MemorySystemT(const Platform& platform)
     : platform_(platform), address_map_(platform) {
+  caches_.reserve(platform_.tiers.size());
   for (const auto& tier : platform_.tiers) {
-    caches_.push_back(std::make_unique<SetAssociativeCache>(tier.geometry));
-    line_size_ = tier.geometry.line_size;
+    if (caches_.empty())
+      line_size_ = tier.geometry.line_size;
+    else if (tier.geometry.line_size != line_size_)
+      throw std::invalid_argument(
+          "MemorySystem: all tiers must share one line_size (tier '" + tier.geometry.name +
+          "' disagrees with tier '" + platform_.tiers.front().geometry.name +
+          "'); the line split mask is hierarchy-wide");
+    caches_.emplace_back(tier.geometry);
   }
   tier_hits_.assign(platform_.tiers.size(), 0);
   tier_writebacks_.assign(platform_.tiers.size(), 0);
   device_lines_.assign(platform_.devices.size(), 0);
   device_writeback_lines_.assign(platform_.devices.size(), 0);
   device_prefetch_lines_.assign(platform_.devices.size(), 0);
+  refresh_fast_path();
 }
 
-void MemorySystem::enable_prefetcher(std::size_t streams, std::size_t depth) {
+template <class CacheT>
+MemorySystemT<CacheT>::~MemorySystemT() {
+  publish_lines();
+}
+
+template <class CacheT>
+void MemorySystemT<CacheT>::publish_lines() const {
+  if (accesses_ == published_lines_) return;
+  util::MetricsRegistry::instance().counter("sim.lines_simulated").add(accesses_ - published_lines_);
+  published_lines_ = accesses_;
+}
+
+template <class CacheT>
+void MemorySystemT<CacheT>::enable_prefetcher(std::size_t streams, std::size_t depth) {
   prefetcher_ = std::make_unique<StridePrefetcher>(streams, depth, line_size_);
+  prefetch_targets_ = std::make_unique<std::uint64_t[]>(std::max<std::size_t>(depth, 1));
+  refresh_fast_path();
 }
 
-void MemorySystem::access(std::uint64_t addr, std::uint32_t size, bool is_write) {
-  if (size == 0) return;
-  bytes_ += size;
-  const std::uint64_t mask = ~static_cast<std::uint64_t>(line_size_ - 1);
-  const std::uint64_t first = addr & mask;
-  const std::uint64_t last = (addr + size - 1) & mask;
-  for (std::uint64_t line = first; line <= last; line += line_size_) {
-    ++accesses_;
-    access_line(line, is_write);
-  }
-}
-
-void MemorySystem::store_nt(std::uint64_t addr, std::uint32_t size) {
+template <class CacheT>
+void MemorySystemT<CacheT>::store_nt(std::uint64_t addr, std::uint32_t size) {
   if (size == 0) return;
   bytes_ += size;
   const std::uint64_t mask = ~static_cast<std::uint64_t>(line_size_ - 1);
@@ -62,17 +86,47 @@ void MemorySystem::store_nt(std::uint64_t addr, std::uint32_t size) {
     // Coherence: drop any cached copy (its data is now stale).
     for (auto& cache : caches_) {
       bool was_dirty = false;
-      cache->invalidate(cache->align(line), was_dirty);
+      cache.invalidate(cache.align(line), was_dirty);
     }
     writeback_to_device(line);
   }
 }
 
-void MemorySystem::access_line(std::uint64_t line_addr, bool is_write) {
-  if (prefetcher_)
-    for (std::uint64_t target : prefetcher_->observe(line_addr)) prefetch_line(target);
-  for (std::size_t i = 0; i < caches_.size(); ++i) {
-    auto& cache = *caches_[i];
+template <class CacheT>
+void MemorySystemT<CacheT>::access_line(std::uint64_t line_addr, bool is_write) {
+  if (prefetcher_ != nullptr) {
+    if constexpr (FastPathCache<CacheT>) {
+      const std::size_t n = prefetcher_->observe_into(line_addr, prefetch_targets_.get());
+      for (std::size_t k = 0; k < n; ++k) prefetch_line(prefetch_targets_[k]);
+    } else {
+      for (std::uint64_t target : prefetcher_->observe(line_addr)) prefetch_line(target);
+    }
+  }
+  walk_from(0, line_addr, is_write);
+}
+
+template <class CacheT>
+void MemorySystemT<CacheT>::miss_walk(std::uint64_t line_addr, bool is_write)
+  requires FastPathCache<CacheT>
+{
+  const CacheResult r = caches_[0].miss_after_probe(line_addr, is_write);
+  if (r.evicted) evict_from(0, r.evicted_addr, r.evicted_dirty);
+  walk_from(1, line_addr, is_write);
+}
+
+template <class CacheT>
+void MemorySystemT<CacheT>::observe_and_prefetch(std::uint64_t line_addr)
+  requires FastPathCache<CacheT>
+{
+  const std::size_t n = prefetcher_->observe_into(line_addr, prefetch_targets_.get());
+  for (std::size_t k = 0; k < n; ++k) prefetch_line(prefetch_targets_[k]);
+}
+
+template <class CacheT>
+void MemorySystemT<CacheT>::walk_from(std::size_t start, std::uint64_t line_addr,
+                                      bool is_write) {
+  for (std::size_t i = start; i < caches_.size(); ++i) {
+    auto& cache = caches_[i];
     const TierKind kind = platform_.tiers[i].kind;
 
     if (kind == TierKind::kVictim) {
@@ -99,11 +153,8 @@ void MemorySystem::access_line(std::uint64_t line_addr, bool is_write) {
   serve_from_device(line_addr);
 }
 
-bool MemorySystem::next_is_victim(std::size_t i) const {
-  return i + 1 < platform_.tiers.size() && platform_.tiers[i + 1].kind == TierKind::kVictim;
-}
-
-void MemorySystem::evict_from(std::size_t from, std::uint64_t line_addr, bool dirty) {
+template <class CacheT>
+void MemorySystemT<CacheT>::evict_from(std::size_t from, std::uint64_t line_addr, bool dirty) {
   ++tier_writebacks_[from];
   std::size_t i = from;
   bool carry_dirty = dirty;
@@ -121,7 +172,7 @@ void MemorySystem::evict_from(std::size_t from, std::uint64_t line_addr, bool di
     if (kind == TierKind::kVictim) {
       // Victim fill path: the victim absorbs *all* evictions from the tier
       // above it, clean or dirty. Its own displaced line continues down.
-      const CacheResult r = caches_[below]->install(carry_addr, carry_dirty);
+      const CacheResult r = caches_[below].install(carry_addr, carry_dirty);
       if (!r.evicted) return;
       carry_addr = r.evicted_addr;
       carry_dirty = r.evicted_dirty;
@@ -134,7 +185,7 @@ void MemorySystem::evict_from(std::size_t from, std::uint64_t line_addr, bool di
     if (kind == TierKind::kMemorySide) {
       // A dirty line written back through a memory-side cache (MCDRAM in
       // cache mode) is absorbed there; a displaced dirty line continues.
-      const CacheResult r = caches_[below]->install(carry_addr, true);
+      const CacheResult r = caches_[below].install(carry_addr, true);
       if (!r.evicted || !r.evicted_dirty) return;
       carry_addr = r.evicted_addr;
       carry_dirty = true;
@@ -144,7 +195,7 @@ void MemorySystem::evict_from(std::size_t from, std::uint64_t line_addr, bool di
 
     // Standard tier below: the line is usually already present (the walk
     // installs top-down); install() then just marks it dirty.
-    const CacheResult r = caches_[below]->install(carry_addr, true);
+    const CacheResult r = caches_[below].install(carry_addr, true);
     if (!r.evicted || !r.evicted_dirty) return;
     carry_addr = r.evicted_addr;
     carry_dirty = true;
@@ -152,31 +203,42 @@ void MemorySystem::evict_from(std::size_t from, std::uint64_t line_addr, bool di
   }
 }
 
-void MemorySystem::serve_from_device(std::uint64_t line_addr) {
+template <class CacheT>
+void MemorySystemT<CacheT>::serve_from_device(std::uint64_t line_addr) {
   ++device_lines_[address_map_.device_for(line_addr)];
 }
 
-void MemorySystem::writeback_to_device(std::uint64_t line_addr) {
+template <class CacheT>
+void MemorySystemT<CacheT>::writeback_to_device(std::uint64_t line_addr) {
   ++device_writeback_lines_[address_map_.device_for(line_addr)];
 }
 
-void MemorySystem::prefetch_line(std::uint64_t line_addr) {
+template <class CacheT>
+void MemorySystemT<CacheT>::prefetch_line(std::uint64_t line_addr) {
   // Already resident anywhere: nothing to fetch.
   for (const auto& cache : caches_)
-    if (cache->contains(cache->align(line_addr))) return;
+    if (cache.contains(cache.align(line_addr))) return;
 
   // Fill every standard tier (prefetches train into the cache stack);
-  // displaced lines follow the normal eviction path.
+  // displaced lines follow the normal eviction path. The sweep above
+  // proved the line absent everywhere, and eviction chains only push
+  // OTHER lines down, so the flat core can skip each install's hit scan.
   for (std::size_t i = 0; i < caches_.size(); ++i) {
     if (platform_.tiers[i].kind != TierKind::kStandard) continue;
-    const CacheResult r = caches_[i]->install(line_addr, false);
+    CacheResult r;
+    if constexpr (FastPathCache<CacheT>)
+      r = caches_[i].install_absent(line_addr, false);
+    else
+      r = caches_[i].install(line_addr, false);
     if (r.evicted) evict_from(i, r.evicted_addr, r.evicted_dirty);
   }
   ++prefetch_fills_;
   ++device_prefetch_lines_[address_map_.device_for(line_addr)];
 }
 
-TrafficReport MemorySystem::report() const {
+template <class CacheT>
+TrafficReport MemorySystemT<CacheT>::report() const {
+  publish_lines();
   TrafficReport out;
   for (std::size_t i = 0; i < caches_.size(); ++i) {
     out.tiers.push_back({.name = platform_.tiers[i].geometry.name,
@@ -196,8 +258,10 @@ TrafficReport MemorySystem::report() const {
   return out;
 }
 
-void MemorySystem::reset() {
-  for (auto& c : caches_) c->reset();
+template <class CacheT>
+void MemorySystemT<CacheT>::reset() {
+  publish_lines();  // the registry total spans resets
+  for (auto& c : caches_) c.reset();
   std::fill(tier_hits_.begin(), tier_hits_.end(), 0);
   std::fill(tier_writebacks_.begin(), tier_writebacks_.end(), 0);
   std::fill(device_lines_.begin(), device_lines_.end(), 0);
@@ -208,6 +272,10 @@ void MemorySystem::reset() {
   nt_wc_line_ = ~0ull;
   accesses_ = 0;
   bytes_ = 0;
+  published_lines_ = 0;
 }
+
+template class MemorySystemT<FlatCache>;
+template class MemorySystemT<SetAssociativeCache>;
 
 }  // namespace opm::sim

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -7,17 +8,33 @@
 
 #include "sim/address_map.hpp"
 #include "sim/cache.hpp"
+#include "sim/flat_cache.hpp"
 #include "sim/platform.hpp"
 #include "sim/prefetcher.hpp"
 
 /// Trace-driven simulation of a full platform memory hierarchy.
 ///
-/// A MemorySystem is built from a Platform and consumes the raw memory
+/// A memory system is built from a Platform and consumes the raw memory
 /// access stream of an instrumented kernel. It walks each access through
 /// the tier stack — standard caches, the eDRAM victim L4, the MCDRAM
 /// memory-side cache — and accounts bytes served by every tier and device.
 /// This exact simulation validates the analytical TrafficModel used for
 /// large sweeps (see tests/test_model_validation.cpp).
+///
+/// The walk is a class template over the per-tier cache type:
+///
+///   MemorySystem          = MemorySystemT<FlatCache>            (hot path)
+///   ReferenceMemorySystem = MemorySystemT<SetAssociativeCache>  (reference)
+///
+/// Both instantiations are behavior-identical — the differential suite in
+/// tests/test_sim_differential.cpp drives them with the same traces and
+/// requires equal stats and reports. The flat instantiation additionally
+/// takes fast paths the reference never compiles (`if constexpr` on
+/// FastPathCache): an inline L1 probe in access_range() that skips the
+/// full tier walk on an L1 hit, a miss continuation that enters the walk
+/// without re-scanning the L1 set, and the allocation-free
+/// StridePrefetcher::observe_into() entry. Sanitizer CI exercises the
+/// reference instantiation so TSan/ASan keep seeing the map-based model.
 namespace opm::sim {
 
 /// Byte accounting for one tier or device after a simulation run.
@@ -27,6 +44,8 @@ struct TierTraffic {
   std::uint64_t bytes_served = 0;  ///< hits * line_size
   std::uint64_t writebacks = 0;  ///< dirty lines pushed down from here
   std::uint64_t prefetches = 0;  ///< prefetch fills served by this device
+
+  bool operator==(const TierTraffic&) const = default;
 };
 
 /// Full traffic picture of a simulated execution.
@@ -38,21 +57,95 @@ struct TrafficReport {
 
   /// Bytes that had to come from any backing device (the "DRAM traffic").
   std::uint64_t device_bytes() const;
-  /// Bytes served by the named tier, 0 when absent.
+  /// True when a tier or device with this exact name exists.
+  bool has(const std::string& name) const;
+  /// Bytes served by the named tier or device. Throws std::out_of_range
+  /// for unknown names — a typo in figure code must not silently zero a
+  /// series; probe with has() when absence is expected.
   std::uint64_t bytes_from(const std::string& name) const;
+
+  bool operator==(const TrafficReport&) const = default;
 };
 
-class MemorySystem {
+/// Cache types eligible for the batched fast paths: a try_hit() probe
+/// that counts/refreshes on a hit but leaves the cache untouched on a
+/// miss, the matching miss_after_probe() continuation that takes the miss
+/// without re-scanning the set try_hit just proved empty, and an
+/// install_absent() that fills a line a contains() sweep proved absent.
+template <class C>
+concept FastPathCache = requires(C c, std::uint64_t addr, bool is_write) {
+  { c.try_hit(addr, is_write) } -> std::same_as<bool>;
+  { c.miss_after_probe(addr, is_write) } -> std::same_as<CacheResult>;
+  { c.install_absent(addr, is_write) } -> std::same_as<CacheResult>;
+};
+
+template <class CacheT>
+class MemorySystemT {
  public:
-  explicit MemorySystem(const Platform& platform);
+  explicit MemorySystemT(const Platform& platform);
+  ~MemorySystemT();  // flushes this system's line count to the metrics registry
+
+  MemorySystemT(const MemorySystemT&) = delete;
+  MemorySystemT& operator=(const MemorySystemT&) = delete;
 
   /// Simulates one demand access of `size` bytes starting at `addr`
   /// (split into line-granular requests). `is_write` marks stores.
-  void access(std::uint64_t addr, std::uint32_t size, bool is_write);
+  void access(std::uint64_t addr, std::uint32_t size, bool is_write) {
+    access_range(addr, size, is_write);
+  }
+
+  /// Batched demand access: the hot entry. Set index, tag, and line split
+  /// are computed once per line; with a FastPathCache an L1 hit is counted
+  /// inline without entering the tier walk, and an L1 miss continues with
+  /// miss_after_probe() instead of re-scanning the set. A prefetcher, when
+  /// attached, observes each line before its L1 probe — the same ordering
+  /// as the generic walk (prefetch fills can evict lines). Behavior is
+  /// identical to calling access() — access() IS this.
+  void access_range(std::uint64_t addr, std::uint64_t size, bool is_write) {
+    if (size == 0) return;
+    bytes_ += size;
+    const std::uint64_t line_mask = static_cast<std::uint64_t>(line_size_ - 1);
+    if constexpr (FastPathCache<CacheT>) {
+      // fast_path_ok_: tier 0 is a standard cache (a victim front tier
+      // would need its probe-invalidate-promote dance first).
+      if (fast_path_ok_) {
+        if ((addr & line_mask) + size <= line_size_) {
+          // Single-line access: the dominant shape — kernels issue
+          // element-sized touches, lines are 64 bytes.
+          ++accesses_;
+          const std::uint64_t line = addr & ~line_mask;
+          if (prefetcher_ != nullptr) observe_and_prefetch(line);
+          if (caches_[0].try_hit(line, is_write)) {
+            ++tier_hits_[0];
+            return;
+          }
+          miss_walk(line, is_write);
+          return;
+        }
+        const std::uint64_t first = addr & ~line_mask;
+        const std::uint64_t last = (addr + size - 1) & ~line_mask;
+        for (std::uint64_t line = first; line <= last; line += line_size_) {
+          ++accesses_;
+          if (prefetcher_ != nullptr) observe_and_prefetch(line);
+          if (caches_[0].try_hit(line, is_write))
+            ++tier_hits_[0];
+          else
+            miss_walk(line, is_write);
+        }
+        return;
+      }
+    }
+    const std::uint64_t first = addr & ~line_mask;
+    const std::uint64_t last = (addr + size - 1) & ~line_mask;
+    for (std::uint64_t line = first; line <= last; line += line_size_) {
+      ++accesses_;
+      access_line(line, is_write);
+    }
+  }
 
   /// Convenience wrappers matching the kernel Recorder interface.
-  void load(std::uint64_t addr, std::uint32_t size) { access(addr, size, false); }
-  void store(std::uint64_t addr, std::uint32_t size) { access(addr, size, true); }
+  void load(std::uint64_t addr, std::uint32_t size) { access_range(addr, size, false); }
+  void store(std::uint64_t addr, std::uint32_t size) { access_range(addr, size, true); }
 
   /// Non-temporal (streaming) store: bypasses the cache stack and writes
   /// straight to the backing device, invalidating any cached copy for
@@ -75,37 +168,76 @@ class MemorySystem {
   void reset();
 
   const Platform& platform() const { return platform_; }
+  /// Raw per-tier cache counters (differential tests compare tier-by-tier).
+  const CacheStats& tier_stats(std::size_t i) const { return caches_[i].stats(); }
+  /// Line-granular demand accesses simulated so far.
+  std::uint64_t lines_simulated() const { return accesses_; }
 
  private:
   void access_line(std::uint64_t line_addr, bool is_write);
+  /// Walks tiers [start, n) for one line — access_line()'s loop, callable
+  /// from tier 1 when the fast path has already settled tier 0.
+  void walk_from(std::size_t start, std::uint64_t line_addr, bool is_write);
+  /// Fast-path miss continuation: takes the tier-0 miss via
+  /// miss_after_probe() (try_hit just proved the line absent — no second
+  /// set scan) and walks the remaining tiers.
+  void miss_walk(std::uint64_t line_addr, bool is_write)
+    requires FastPathCache<CacheT>;
+  /// Fast-path pre-walk prefetcher step: trains on the demand line and
+  /// installs the suggested targets, in access_line()'s exact order —
+  /// prefetch fills (and their evictions) land before the L1 probe.
+  void observe_and_prefetch(std::uint64_t line_addr)
+    requires FastPathCache<CacheT>;
   /// Handles a line evicted from tier `from`: fills the victim tier below
   /// (clean or dirty), pushes dirty lines into the next lower tier, and
   /// ultimately accounts device writebacks.
   void evict_from(std::size_t from, std::uint64_t line_addr, bool dirty);
-  /// True when tier `i + 1` exists and is a victim cache.
-  bool next_is_victim(std::size_t i) const;
   /// Counts a demand line served by the device backing `line_addr`.
   void serve_from_device(std::uint64_t line_addr);
   /// Counts a writeback line landing on the device backing `line_addr`.
   void writeback_to_device(std::uint64_t line_addr);
   /// Installs a prefetched line into the standard tiers if absent.
   void prefetch_line(std::uint64_t line_addr);
+  /// Publishes accesses_ deltas to the "sim.lines_simulated" counter.
+  /// Watermark scheme: the hot path only bumps the local accesses_; the
+  /// process-wide atomic is touched at report()/reset()/destruction.
+  void publish_lines() const;
+  void refresh_fast_path() {
+    fast_path_ok_ = !platform_.tiers.empty() &&
+                    platform_.tiers[0].kind == TierKind::kStandard;
+  }
 
   Platform platform_;
   std::unique_ptr<StridePrefetcher> prefetcher_;
+  /// Reused target buffer for StridePrefetcher::observe_into (depth slots).
+  std::unique_ptr<std::uint64_t[]> prefetch_targets_;
   std::uint64_t prefetch_fills_ = 0;
   std::vector<std::uint64_t> device_prefetch_lines_;
   /// One-entry write-combining buffer for non-temporal stores.
   std::uint64_t nt_wc_line_ = ~0ull;
   AddressMap address_map_;
-  std::vector<std::unique_ptr<SetAssociativeCache>> caches_;
+  std::vector<CacheT> caches_;
   std::vector<std::uint64_t> tier_hits_;
   std::vector<std::uint64_t> tier_writebacks_;
   std::vector<std::uint64_t> device_lines_;
   std::vector<std::uint64_t> device_writeback_lines_;
   std::uint64_t accesses_ = 0;
   std::uint64_t bytes_ = 0;
+  mutable std::uint64_t published_lines_ = 0;
   std::uint32_t line_size_ = 64;
+  bool fast_path_ok_ = false;
 };
+
+// The two supported instantiations live in memory_system.cpp; the extern
+// declarations keep every including TU from re-instantiating the walk
+// (the inline access_range above still inlines at call sites).
+extern template class MemorySystemT<FlatCache>;
+extern template class MemorySystemT<SetAssociativeCache>;
+
+/// The production simulator: flat SoA cache core, batched fast paths.
+using MemorySystem = MemorySystemT<FlatCache>;
+/// The retained reference model: map-based SetAssociativeCache, original
+/// per-line walk. Differential tests and sanitizer CI run this one.
+using ReferenceMemorySystem = MemorySystemT<SetAssociativeCache>;
 
 }  // namespace opm::sim

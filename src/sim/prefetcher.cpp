@@ -1,16 +1,21 @@
 #include "sim/prefetcher.hpp"
 
+#include <bit>
 #include <cstdlib>
 
 namespace opm::sim {
 
 StridePrefetcher::StridePrefetcher(std::size_t streams, std::size_t depth,
                                    std::uint32_t line_size)
-    : streams_(streams), depth_(depth), line_size_(line_size), table_(streams) {}
+    : streams_(streams), depth_(depth), line_size_(line_size), table_(streams) {
+  line_pow2_ = line_size_ != 0 && std::has_single_bit(line_size_);
+  if (line_pow2_) line_shift_ = static_cast<std::uint32_t>(std::countr_zero(line_size_));
+}
 
-std::vector<std::uint64_t> StridePrefetcher::observe(std::uint64_t line_addr) {
+std::size_t StridePrefetcher::observe_into(std::uint64_t line_addr, std::uint64_t* out) {
   ++clock_;
-  const std::int64_t line = static_cast<std::int64_t>(line_addr / line_size_);
+  const std::int64_t line = static_cast<std::int64_t>(
+      line_pow2_ ? line_addr >> line_shift_ : line_addr / line_size_);
 
   // Look for a stream this access continues: either it matches the
   // established stride, or it is within +/- 2 lines of a tracked head
@@ -29,22 +34,22 @@ std::vector<std::uint64_t> StridePrefetcher::observe(std::uint64_t line_addr) {
       s.last_line = static_cast<std::uint64_t>(line);
       s.last_use = clock_;
       ++stream_hits_;
-      std::vector<std::uint64_t> out;
-      out.reserve(depth_);
+      std::size_t n = 0;
       for (std::size_t d = 1; d <= depth_; ++d) {
         const std::int64_t target = line + s.stride * static_cast<std::int64_t>(d);
         if (target < 0) break;
-        out.push_back(static_cast<std::uint64_t>(target) * line_size_);
+        out[n++] = line_pow2_ ? static_cast<std::uint64_t>(target) << line_shift_
+                              : static_cast<std::uint64_t>(target) * line_size_;
       }
-      issued_ += out.size();
-      return out;
+      issued_ += n;
+      return n;
     }
     if (s.stride == 0 && delta != 0 && std::llabs(delta) <= 2) {
       // Second access of a nascent stream: lock the stride in.
       s.stride = delta;
       s.last_line = static_cast<std::uint64_t>(line);
       s.last_use = clock_;
-      return {};
+      return 0;
     }
     if (oldest == nullptr || s.last_use < oldest->last_use) oldest = &s;
   }
@@ -56,7 +61,13 @@ std::vector<std::uint64_t> StridePrefetcher::observe(std::uint64_t line_addr) {
   slot->last_line = static_cast<std::uint64_t>(line);
   slot->stride = 0;
   slot->last_use = clock_;
-  return {};
+  return 0;
+}
+
+std::vector<std::uint64_t> StridePrefetcher::observe(std::uint64_t line_addr) {
+  std::vector<std::uint64_t> out(depth_);
+  out.resize(observe_into(line_addr, out.data()));
+  return out;
 }
 
 void StridePrefetcher::reset() {

@@ -26,10 +26,17 @@ class StridePrefetcher {
   StridePrefetcher(std::size_t streams = 16, std::size_t depth = 4,
                    std::uint32_t line_size = 64);
 
-  /// Observes a demand line access; returns the line addresses to
-  /// prefetch (possibly empty).
+  /// Observes a demand line access; writes the line addresses to prefetch
+  /// into `out` (caller-provided, at least depth() slots) and returns how
+  /// many were written. This is the hot-path entry: no allocation.
+  std::size_t observe_into(std::uint64_t line_addr, std::uint64_t* out);
+
+  /// Allocating convenience wrapper around observe_into() (tests and the
+  /// reference simulation path; the flat hot path never calls it).
   std::vector<std::uint64_t> observe(std::uint64_t line_addr);
 
+  /// Upper bound on the targets one observe can issue.
+  std::size_t depth() const { return depth_; }
   /// Number of prefetches issued so far.
   std::uint64_t issued() const { return issued_; }
   /// Number of stream detections (an access continuing a known stream).
@@ -48,6 +55,10 @@ class StridePrefetcher {
   std::size_t streams_;
   std::size_t depth_;
   std::uint32_t line_size_;
+  /// Power-of-two line sizes (every real platform) turn the per-observe
+  /// address/line conversions into shifts instead of 64-bit divisions.
+  bool line_pow2_ = false;
+  std::uint32_t line_shift_ = 0;
   std::uint64_t clock_ = 0;
   std::uint64_t issued_ = 0;
   std::uint64_t stream_hits_ = 0;

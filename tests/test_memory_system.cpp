@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/memory_system.hpp"
 #include "sim/platform.hpp"
 #include "util/units.hpp"
@@ -202,6 +204,41 @@ TEST(Platform, McdramStaticPowerAlwaysOn) {
   // The paper: MCDRAM cannot be physically disabled, so even "w/o
   // MCDRAM" draws its static power.
   EXPECT_GT(knl(McdramMode::kOff).opm_watts_static, 0.0);
+}
+
+TEST(MemorySystem, MixedTierLineSizesRejected) {
+  // The line split mask is hierarchy-wide; a platform whose tiers disagree
+  // on line_size used to silently adopt the LAST tier's size. It must be
+  // rejected loudly instead.
+  Platform p = tiny_platform(true);
+  p.tiers[1].geometry.line_size = 128;
+  EXPECT_THROW(MemorySystem{p}, std::invalid_argument);
+  EXPECT_THROW(ReferenceMemorySystem{p}, std::invalid_argument);
+  p.tiers[1].geometry.line_size = 64;
+  EXPECT_NO_THROW(MemorySystem{p});
+}
+
+TEST(TrafficReport, HasAndUnknownNameThrows) {
+  MemorySystem ms(tiny_platform(true));
+  ms.load(0, 8);
+  const TrafficReport rep = ms.report();
+  EXPECT_TRUE(rep.has("L1"));
+  EXPECT_TRUE(rep.has("V"));
+  EXPECT_TRUE(rep.has("DDR"));
+  EXPECT_FALSE(rep.has("eDRAM-L4"));
+  EXPECT_EQ(rep.bytes_from("DDR"), 64u);
+  // A typo must throw, not silently zero a figure series.
+  EXPECT_THROW(rep.bytes_from("DDRR"), std::out_of_range);
+}
+
+TEST(MemorySystem, LinesSimulatedCountsLineAccesses) {
+  MemorySystem ms(tiny_platform(false));
+  ms.load(0, 8);
+  ms.load(0, 256);    // 4 lines
+  ms.store_nt(0, 8);  // NT lines count as simulated lines too
+  EXPECT_EQ(ms.lines_simulated(), 6u);
+  ms.reset();
+  EXPECT_EQ(ms.lines_simulated(), 0u);
 }
 
 }  // namespace
