@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <iostream>
+#include <thread>
 
 #include "core/result_cache.hpp"
 #include "core/sweep.hpp"
@@ -10,6 +12,13 @@
 #include "util/csv.hpp"
 #include "util/format.hpp"
 #include "util/histogram.hpp"
+
+#ifndef OPM_GIT_REV
+#define OPM_GIT_REV "unknown"
+#endif
+#ifndef OPM_BUILD_TYPE
+#define OPM_BUILD_TYPE "unknown"
+#endif
 
 namespace opm::bench {
 
@@ -169,6 +178,76 @@ std::vector<sim::Platform> knl_modes() {
 
 std::vector<sim::Platform> broadwell_modes() {
   return {sim::broadwell(sim::EdramMode::kOff), sim::broadwell(sim::EdramMode::kOn)};
+}
+
+void prefault(void* data, std::size_t bytes) {
+  volatile char* p = static_cast<char*>(data);
+  for (std::size_t off = 0; off < bytes; off += 4096) p[off] = p[off];
+  if (bytes > 0) p[bytes - 1] = p[bytes - 1];
+}
+
+util::BenchMetric time_metric_ms(const std::string& name, const Sampler& sampler) {
+  std::vector<std::vector<double>> ms;
+  ms.reserve(sampler.samples_ns().size());
+  for (const auto& rep : sampler.samples_ns()) {
+    std::vector<double> scaled;
+    scaled.reserve(rep.size());
+    for (double ns : rep) scaled.push_back(ns / 1e6);
+    ms.push_back(std::move(scaled));
+  }
+  return value_metric(name, "ms", /*higher_is_better=*/false, ms);
+}
+
+util::BenchMetric rate_metric(const std::string& name, const std::string& unit,
+                              double work_per_iter, const Sampler& sampler) {
+  std::vector<std::vector<double>> rates;
+  rates.reserve(sampler.samples_ns().size());
+  for (const auto& rep : sampler.samples_ns()) {
+    std::vector<double> r;
+    r.reserve(rep.size());
+    for (double ns : rep) r.push_back(ns > 0.0 ? work_per_iter / (ns * 1e-9) : 0.0);
+    rates.push_back(std::move(r));
+  }
+  return value_metric(name, unit, /*higher_is_better=*/true, rates);
+}
+
+util::BenchMetric value_metric(const std::string& name, const std::string& unit,
+                               bool higher_is_better,
+                               const std::vector<std::vector<double>>& repeats) {
+  util::BenchMetric m;
+  m.name = name;
+  m.unit = unit;
+  m.higher_is_better = higher_is_better;
+  m.repeats = repeats.size();
+  m.iters = repeats.empty() ? 0 : repeats.front().size();
+  m.summary = util::aggregate_repeats(repeats);
+  for (const auto& rep : repeats)
+    if (!rep.empty()) m.repeat_medians.push_back(util::median(rep));
+  return m;
+}
+
+util::BenchReport make_report(const std::string& bench, bool quick) {
+  util::BenchReport r;
+  r.bench = bench;
+  r.git_rev = OPM_GIT_REV;
+  r.quick = quick;
+  r.environment.emplace_back("compiler", __VERSION__);
+  r.environment.emplace_back("build", OPM_BUILD_TYPE);
+  r.environment.emplace_back(
+      "hardware_threads", std::to_string(std::thread::hardware_concurrency()));
+  return r;
+}
+
+bool write_report(const util::BenchReport& report, const std::string& path) {
+  std::string error;
+  if (!report.write_file(path, &error)) {
+    std::cout << "bench: FAILED to write report: " << error << "\n";
+    return false;
+  }
+  std::cout << "\nwrote " << path << " (schema " << util::kBenchSchemaName << " v"
+            << util::kBenchSchemaVersion << ", " << report.metrics.size()
+            << " metrics)\n";
+  return true;
 }
 
 void print_sweep_stats(const std::string& label) {

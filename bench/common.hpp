@@ -1,6 +1,9 @@
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -8,6 +11,8 @@
 #include "sim/platform.hpp"
 #include "sparse/collection.hpp"
 #include "util/ascii_plot.hpp"
+#include "util/bench_report.hpp"
+#include "util/stats.hpp"
 
 /// Shared plumbing for the figure-reproduction harnesses.
 ///
@@ -74,6 +79,94 @@ std::vector<sim::Platform> knl_modes();
 
 /// Broadwell with and without eDRAM.
 std::vector<sim::Platform> broadwell_modes();
+
+// ---------------------------------------------------------------------------
+// The statistical benchmark contract (docs/MODEL.md §12). Every perf
+// harness measures through bench::Sampler (warmup, prefault hook,
+// per-iteration ns samples, repeat loops) and emits one versioned
+// util::BenchReport so tools/opm_benchdiff can gate the trajectory.
+// ---------------------------------------------------------------------------
+
+/// Shape of one standardized measurement loop.
+struct SampleSpec {
+  int warmup = 1;   ///< unmeasured iterations per repeat (cache/frequency settle)
+  int iters = 5;    ///< measured iterations per repeat, one ns sample each
+  int repeats = 3;  ///< repeat loops; aggregation is median-of-medians
+};
+
+/// Collects per-iteration wall-nanosecond samples grouped by repeat.
+///
+/// The loop per repeat: `setup(repeat)` (unmeasured — fresh state,
+/// prefault), `warmup` unmeasured calls of `fn`, then `iters` measured
+/// calls. Harnesses whose samples come from elsewhere (per-request
+/// latencies, phase timings) push them with add_repeat() and still get the
+/// same aggregation and report shape.
+class Sampler {
+ public:
+  explicit Sampler(SampleSpec spec) : spec_(spec) {}
+
+  template <class Setup, class Fn>
+  void run(Setup&& setup, Fn&& fn) {
+    samples_ns_.clear();
+    for (int r = 0; r < spec_.repeats; ++r) {
+      setup(r);
+      for (int w = 0; w < spec_.warmup; ++w) fn();
+      std::vector<double> ns;
+      ns.reserve(static_cast<std::size_t>(spec_.iters));
+      for (int i = 0; i < spec_.iters; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        ns.push_back(std::chrono::duration<double, std::nano>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+      }
+      samples_ns_.push_back(std::move(ns));
+    }
+  }
+
+  template <class Fn>
+  void run(Fn&& fn) {
+    run([](int) {}, fn);
+  }
+
+  /// Appends one repeat's worth of externally collected ns samples.
+  void add_repeat(std::vector<double> ns) { samples_ns_.push_back(std::move(ns)); }
+
+  const SampleSpec& spec() const { return spec_; }
+  const std::vector<std::vector<double>>& samples_ns() const { return samples_ns_; }
+  util::SampleSummary aggregate_ns() const { return util::aggregate_repeats(samples_ns_); }
+
+ private:
+  SampleSpec spec_;
+  std::vector<std::vector<double>> samples_ns_;
+};
+
+/// Touches one byte per 4 KiB page so first-touch faults land outside the
+/// timed region. Call from the Sampler setup hook on fresh buffers.
+void prefault(void* data, std::size_t bytes);
+
+/// Wall-time metric in milliseconds (lower is better) from the sampler's
+/// ns samples.
+util::BenchMetric time_metric_ms(const std::string& name, const Sampler& sampler);
+
+/// Rate metric (higher is better): `work_per_iter` units divided by each
+/// iteration's seconds, e.g. lines/s, req/s, ops/s.
+util::BenchMetric rate_metric(const std::string& name, const std::string& unit,
+                              double work_per_iter, const Sampler& sampler);
+
+/// Metric from raw per-repeat value samples already in the target unit.
+util::BenchMetric value_metric(const std::string& name, const std::string& unit,
+                               bool higher_is_better,
+                               const std::vector<std::vector<double>>& repeats);
+
+/// Skeleton report for this harness: schema/version fields, the git
+/// revision baked in at configure time, and the environment snapshot
+/// (threads, compiler, build type). Callers fill knobs and metrics.
+util::BenchReport make_report(const std::string& bench, bool quick);
+
+/// Writes the canonical serialization (plus trailing newline) and prints
+/// a "wrote <path>" note; false on IO failure (message on stdout).
+bool write_report(const util::BenchReport& report, const std::string& path);
 
 /// Drains the sweep engine's stats log and prints it as a
 /// `csv:<label>_sweep_stats` block plus one JSON line per sweep, so every

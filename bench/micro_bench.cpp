@@ -1,197 +1,189 @@
-// Google-benchmark microbenchmarks for the library's hot paths: the cache
-// simulator, reuse-distance analysis, and the real kernel implementations.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks for the library's hot paths: the cache simulator (both
+// cores), reuse-distance analysis, and the real kernel implementations.
+//
+// Measured through bench::Sampler per the statistical perf contract
+// (docs/MODEL.md §12) — warmup, prefaulted buffers, per-iteration ns
+// samples, repeat loops — and emitted as BENCH_micro.json in the shared
+// opm-bench schema. Formerly a Google-benchmark binary; the in-repo
+// sampler produces the same robust estimators (median/p95/CV across
+// repeats) in the schema the rest of the trajectory tooling consumes.
+//
+//   --quick      fewer measured iterations (CI validation budget)
+//   --out=PATH   JSON output path (default BENCH_micro.json)
+#include <cstdint>
+#include <iostream>
+#include <utility>
 #include <vector>
 
+#include "common.hpp"
 #include "dense/matrix.hpp"
 #include "kernels/csr5.hpp"
 #include "kernels/fft.hpp"
 #include "kernels/gemm.hpp"
+#include "kernels/parallel.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/sptrans.hpp"
 #include "kernels/sptrsv.hpp"
 #include "kernels/stencil.hpp"
 #include "kernels/stream.hpp"
+#include "sim/cache.hpp"
 #include "sim/memory_system.hpp"
 #include "sparse/generators.hpp"
-#include "kernels/parallel.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sampler.hpp"
-#include "util/thread_pool.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace opm;
 
-void BM_CacheAccess(benchmark::State& state) {
-  sim::SetAssociativeCache cache({.name = "L2", .capacity = 256 * 1024, .line_size = 64,
-                                  .associativity = 8});
-  util::Xoshiro256 rng(1);
-  std::vector<std::uint64_t> addrs(4096);
-  for (auto& a : addrs) a = rng.bounded(1 << 20) * 64;
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095], false));
-  }
-  state.SetItemsProcessed(state.iterations());
+/// Seeded line-granular address trace reused by the simulator micros.
+std::vector<std::uint64_t> address_trace(std::uint64_t seed, std::size_t count,
+                                         std::uint64_t line_span) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> addrs(count);
+  for (auto& a : addrs) a = rng.bounded(line_span) * 64;
+  return addrs;
 }
-BENCHMARK(BM_CacheAccess);
 
-void BM_MemorySystemWalk(benchmark::State& state) {
-  sim::MemorySystem ms(sim::broadwell(sim::EdramMode::kOn));
-  util::Xoshiro256 rng(2);
-  std::vector<std::uint64_t> addrs(4096);
-  for (auto& a : addrs) a = rng.bounded(1 << 24) * 64;
-  std::size_t i = 0;
-  for (auto _ : state) ms.load(addrs[i++ & 4095], 8);
-  state.SetItemsProcessed(state.iterations());
+void print_metric(const util::BenchMetric& m) {
+  std::cout << util::pad(m.name, 26)
+            << util::pad(util::format_fixed(m.summary.median / 1e6, 2) + " M" + m.unit, 18)
+            << util::pad("p95 " + util::format_fixed(m.summary.p95 / 1e6, 2), 12)
+            << "cv " << util::format_fixed(m.summary.cv * 100.0, 1) << "%\n";
 }
-BENCHMARK(BM_MemorySystemWalk);
-
-void BM_ReuseDistance(benchmark::State& state) {
-  util::Xoshiro256 rng(3);
-  std::vector<std::uint64_t> addrs(4096);
-  for (auto& a : addrs) a = rng.bounded(1 << 16) * 64;
-  for (auto _ : state) {
-    state.PauseTiming();
-    trace::ReuseDistanceAnalyzer analyzer;
-    state.ResumeTiming();
-    for (auto a : addrs) analyzer.touch(a, 8);
-    benchmark::DoNotOptimize(analyzer.cold_misses());
-  }
-  state.SetItemsProcessed(state.iterations() * 4096);
-}
-BENCHMARK(BM_ReuseDistance);
-
-void BM_GemmTiled(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  dense::Matrix a(n, n), b(n, n), c(n, n);
-  a.fill_random(4);
-  b.fill_random(5);
-  for (auto _ : state) {
-    kernels::gemm_tiled(a, b, c, 32);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_GemmTiled)->Arg(64)->Arg(128);
-
-void BM_SpmvCsrVsCsr5(benchmark::State& state) {
-  const bool csr5 = state.range(0) != 0;
-  const sparse::Csr a = sparse::make_random_uniform(8192, 16.0, 6);
-  const kernels::Csr5Matrix m = kernels::Csr5Matrix::build(a);
-  std::vector<double> x(8192, 1.0), y(8192);
-  for (auto _ : state) {
-    if (csr5)
-      m.spmv(x, y);
-    else
-      kernels::spmv_csr(a, x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * a.nnz() * 2);
-}
-BENCHMARK(BM_SpmvCsrVsCsr5)->Arg(0)->Arg(1);
-
-void BM_SptransScan(benchmark::State& state) {
-  const sparse::Csr a = sparse::make_rmat(4096, 8.0, 7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernels::sptrans_scan(a, 4));
-  }
-  state.SetItemsProcessed(state.iterations() * a.nnz());
-}
-BENCHMARK(BM_SptransScan);
-
-void BM_SptrsvLevelset(benchmark::State& state) {
-  const sparse::Csr l = sparse::lower_triangle_with_diagonal(
-      sparse::make_random_uniform(8192, 8.0, 8), 2.0);
-  const kernels::LevelSchedule schedule = kernels::build_level_schedule(l);
-  std::vector<double> b(8192, 1.0), x(8192);
-  for (auto _ : state) {
-    kernels::sptrsv_levelset(l, schedule, b, x);
-    benchmark::DoNotOptimize(x.data());
-  }
-  state.SetItemsProcessed(state.iterations() * l.nnz());
-}
-BENCHMARK(BM_SptrsvLevelset);
-
-void BM_Fft1d(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Xoshiro256 rng(9);
-  std::vector<kernels::cplx> data(n);
-  for (auto& v : data) v = {rng.uniform(), rng.uniform()};
-  for (auto _ : state) {
-    kernels::fft_1d(data, false);
-    benchmark::DoNotOptimize(data.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_Fft1d)->Arg(1024)->Arg(16384);
-
-void BM_StencilStep(benchmark::State& state) {
-  kernels::StencilGrid grid(48, 48, 48);
-  grid.seed(10);
-  for (auto _ : state) {
-    kernels::stencil_step(grid, 32, 32);
-    std::swap(grid.current, grid.previous);
-    benchmark::DoNotOptimize(grid.current.data());
-  }
-  state.SetItemsProcessed(state.iterations() * grid.cells());
-}
-BENCHMARK(BM_StencilStep);
-
-void BM_SpmvParallel(benchmark::State& state) {
-  const auto workers = static_cast<std::size_t>(state.range(0));
-  util::ThreadPool pool(workers);
-  const sparse::Csr a = sparse::make_random_uniform(16384, 16.0, 11);
-  std::vector<double> x(16384, 1.0), y(16384);
-  for (auto _ : state) {
-    kernels::spmv_csr_parallel(a, x, y, pool);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * a.nnz() * 2);
-}
-BENCHMARK(BM_SpmvParallel)->Arg(0)->Arg(2);
-
-void BM_SptrsvP2p(benchmark::State& state) {
-  const sparse::Csr l = sparse::lower_triangle_with_diagonal(
-      sparse::make_random_uniform(8192, 8.0, 8), 2.0);
-  std::vector<double> b(8192, 1.0), x(8192);
-  for (auto _ : state) {
-    kernels::sptrsv_p2p(l, b, x);
-    benchmark::DoNotOptimize(x.data());
-  }
-  state.SetItemsProcessed(state.iterations() * l.nnz());
-}
-BENCHMARK(BM_SptrsvP2p);
-
-void BM_SampledReuse(benchmark::State& state) {
-  util::Xoshiro256 rng(12);
-  std::vector<std::uint64_t> addrs(4096);
-  for (auto& a : addrs) a = rng.bounded(1 << 16) * 64;
-  for (auto _ : state) {
-    state.PauseTiming();
-    trace::SampledReuseAnalyzer analyzer(0.1);
-    state.ResumeTiming();
-    for (auto a : addrs) analyzer.touch(a, 8);
-    benchmark::DoNotOptimize(analyzer.sampled());
-  }
-  state.SetItemsProcessed(state.iterations() * 4096);
-}
-BENCHMARK(BM_SampledReuse);
-
-void BM_StreamTriad(benchmark::State& state) {
-  const std::size_t n = 1 << 16;
-  std::vector<double> a(n), b(n, 1.0), c(n, 2.0);
-  for (auto _ : state) {
-    kernels::stream_triad(a, b, c, 1.5);
-    benchmark::DoNotOptimize(a.data());
-  }
-  state.SetBytesProcessed(state.iterations() * n * 24);
-}
-BENCHMARK(BM_StreamTriad);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  const std::string out_path = cli.get("out", "BENCH_micro.json");
+  bench::banner("micro_bench", "hot-path microbenchmarks under the perf contract");
+  std::cout << "\n";
+
+  const bench::SampleSpec spec{.warmup = 1, .iters = quick ? 3 : 6, .repeats = 3};
+  util::BenchReport report = bench::make_report("micro", quick);
+  report.knobs.emplace_back("warmup", spec.warmup);
+  report.knobs.emplace_back("iters", spec.iters);
+  report.knobs.emplace_back("repeats", spec.repeats);
+
+  // Runs one microbenchmark: `fn` performs `work` units per call.
+  const auto micro = [&](const std::string& name, const std::string& unit, double work,
+                         auto&& fn) {
+    bench::Sampler sampler(spec);
+    sampler.run(fn);
+    util::BenchMetric m = bench::rate_metric(name, unit, work, sampler);
+    print_metric(m);
+    report.metrics.push_back(std::move(m));
+  };
+
+  // --- simulator cores ---
+  {
+    sim::SetAssociativeCache cache(
+        {.name = "L2", .capacity = 256 * 1024, .line_size = 64, .associativity = 8});
+    const auto addrs = address_trace(1, 65536, 1 << 20);
+    micro("sim/ref_cache_access", "ops/s", static_cast<double>(addrs.size()), [&] {
+      for (const auto a : addrs) cache.access(a, false);
+    });
+  }
+  {
+    sim::MemorySystem ms(sim::broadwell(sim::EdramMode::kOn));
+    const auto addrs = address_trace(2, 65536, 1 << 24);
+    micro("sim/flat_memsys_walk", "ops/s", static_cast<double>(addrs.size()), [&] {
+      for (const auto a : addrs) ms.load(a, 8);
+    });
+  }
+
+  // --- trace analysis ---
+  {
+    const auto addrs = address_trace(3, 32768, 1 << 16);
+    micro("trace/reuse_distance", "ops/s", static_cast<double>(addrs.size()), [&] {
+      trace::ReuseDistanceAnalyzer analyzer;
+      for (const auto a : addrs) analyzer.touch(a, 8);
+    });
+    micro("trace/sampled_reuse", "ops/s", static_cast<double>(addrs.size()), [&] {
+      trace::SampledReuseAnalyzer analyzer(0.1);
+      for (const auto a : addrs) analyzer.touch(a, 8);
+    });
+  }
+
+  // --- dense kernels ---
+  {
+    const std::size_t n = 128;
+    dense::Matrix a(n, n), b(n, n), c(n, n);
+    a.fill_random(4);
+    b.fill_random(5);
+    bench::prefault(c.data(), n * n * sizeof(double));
+    micro("kernels/gemm_tiled_128", "flop/s",
+          2.0 * static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n),
+          [&] { kernels::gemm_tiled(a, b, c, 32); });
+  }
+  {
+    const std::size_t n = 1 << 16;
+    std::vector<double> a(n), b(n, 1.0), c(n, 2.0);
+    bench::prefault(a.data(), n * sizeof(double));
+    micro("kernels/stream_triad", "bytes/s", static_cast<double>(n) * 24.0,
+          [&] { kernels::stream_triad(a, b, c, 1.5); });
+  }
+  {
+    kernels::StencilGrid grid(48, 48, 48);
+    grid.seed(10);
+    micro("kernels/stencil_step", "cells/s", static_cast<double>(grid.cells()), [&] {
+      kernels::stencil_step(grid, 32, 32);
+      std::swap(grid.current, grid.previous);
+    });
+  }
+  {
+    util::Xoshiro256 rng(9);
+    std::vector<kernels::cplx> data(16384);
+    for (auto& v : data) v = {rng.uniform(), rng.uniform()};
+    micro("kernels/fft_16384", "items/s", static_cast<double>(data.size()),
+          [&] { kernels::fft_1d(data, false); });
+  }
+
+  // --- sparse kernels ---
+  {
+    const sparse::Csr a = sparse::make_random_uniform(8192, 16.0, 6);
+    const kernels::Csr5Matrix m = kernels::Csr5Matrix::build(a);
+    std::vector<double> x(8192, 1.0), y(8192);
+    const double flops = static_cast<double>(a.nnz()) * 2.0;
+    micro("kernels/spmv_csr", "flop/s", flops, [&] { kernels::spmv_csr(a, x, y); });
+    micro("kernels/spmv_csr5", "flop/s", flops, [&] { m.spmv(x, y); });
+  }
+  {
+    const sparse::Csr a = sparse::make_rmat(4096, 8.0, 7);
+    micro("kernels/sptrans_scan", "nnz/s", static_cast<double>(a.nnz()),
+          [&] { kernels::sptrans_scan(a, 4); });
+  }
+  {
+    const sparse::Csr l = sparse::lower_triangle_with_diagonal(
+        sparse::make_random_uniform(8192, 8.0, 8), 2.0);
+    const kernels::LevelSchedule schedule = kernels::build_level_schedule(l);
+    std::vector<double> b(8192, 1.0), x(8192);
+    const double nnz = static_cast<double>(l.nnz());
+    micro("kernels/sptrsv_levelset", "nnz/s", nnz,
+          [&] { kernels::sptrsv_levelset(l, schedule, b, x); });
+    micro("kernels/sptrsv_p2p", "nnz/s", nnz, [&] { kernels::sptrsv_p2p(l, b, x); });
+  }
+  {
+    util::ThreadPool pool(2);
+    const sparse::Csr a = sparse::make_random_uniform(16384, 16.0, 11);
+    std::vector<double> x(16384, 1.0), y(16384);
+    micro("kernels/spmv_parallel2", "flop/s", static_cast<double>(a.nnz()) * 2.0,
+          [&] { kernels::spmv_csr_parallel(a, x, y, pool); });
+  }
+
+  if (!bench::write_report(report, out_path)) return 1;
+
+  bench::shape_note(
+      "Microbenchmark trajectory: every hot path above reports median/p95/CV across " +
+      std::to_string(spec.repeats) + " repeats in the opm-bench schema; "
+      "tools/opm_benchdiff --validate checks the artifact in CI, and any metric can "
+      "be promoted to a gated baseline by committing it (see docs/MODEL.md §12).");
+  return 0;
+}

@@ -20,7 +20,14 @@
 // counted — the CI drain test fires SIGTERM mid-load and only cares that
 // the server answers every request with *something* structured.
 //
+// The load phase's per-request latencies and per-client throughput are
+// reported through the statistical perf contract (docs/MODEL.md §12):
+// each client connection is one repeat, so the emitted BENCH_serve.json
+// carries median-of-medians latency and a cross-client CV for the CI
+// trajectory gate (tools/opm_benchdiff).
+//
 //   serve_loadgen [--socket=PATH] [--clients=8] [--dup=4] [--tolerant]
+//                 [--quick] [--out=BENCH_serve.json]
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -166,6 +173,7 @@ bool fetch_stats(const std::string& socket_path, util::JsonValue* out) {
 struct ClientResult {
   std::vector<std::pair<std::size_t, std::string>> payloads;  // (unique idx, payload)
   std::vector<double> latencies_ms;
+  double wall_s = 0.0;  ///< this client's connect-to-last-response wall time
   int rejected = 0;
   int failed = 0;
 };
@@ -242,6 +250,8 @@ int main(int argc, char** argv) {
   const std::size_t dup = static_cast<std::size_t>(cli.get_int("dup", 4));
   const bool tolerant = cli.has("tolerant");
   const bool external = cli.has("socket");
+  const bool quick = cli.has("quick");
+  const std::string out_path = cli.get("out", "BENCH_serve.json");
 
   std::string socket_path = cli.get("socket", "");
   std::unique_ptr<serve::Server> server;
@@ -294,6 +304,7 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       ClientResult& res = results[c];
+      const auto c0 = std::chrono::steady_clock::now();
       SocketClient sock;
       if (!sock.connect_to(socket_path)) {
         res.failed = static_cast<int>(per_client[c].size());
@@ -328,6 +339,8 @@ int main(int argc, char** argv) {
         }
         res.payloads.emplace_back(u, payload->string);
       }
+      res.wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - c0).count();
     });
   }
   for (auto& t : threads) t.join();
@@ -356,6 +369,29 @@ int main(int argc, char** argv) {
     std::cout << "latency ms: p50 " << util::format_fixed(util::percentile(latencies, 50), 2)
               << "  p90 " << util::format_fixed(util::percentile(latencies, 90), 2)
               << "  p99 " << util::format_fixed(util::percentile(latencies, 99), 2) << "\n";
+  }
+
+  // Perf-contract report: each client connection is one repeat. Latency
+  // aggregates median-of-medians across clients; throughput is one
+  // requests/sec sample per client, so the CV measures client-to-client
+  // skew — the number the CI tolerance must absorb.
+  {
+    std::vector<std::vector<double>> latency_reps, rate_reps;
+    for (const auto& r : results) {
+      if (!r.latencies_ms.empty()) latency_reps.push_back(r.latencies_ms);
+      if (r.wall_s > 0.0 && !r.latencies_ms.empty())
+        rate_reps.push_back(
+            {static_cast<double>(r.latencies_ms.size()) / r.wall_s});
+    }
+    util::BenchReport report = bench::make_report("serve", quick);
+    report.knobs.emplace_back("clients", static_cast<double>(clients));
+    report.knobs.emplace_back("dup", static_cast<double>(dup));
+    report.knobs.emplace_back("unique_requests", static_cast<double>(uniques.size()));
+    report.metrics.push_back(bench::value_metric("load/request_latency_ms", "ms",
+                                                 /*higher_is_better=*/false, latency_reps));
+    report.metrics.push_back(bench::value_metric("load/client_req_per_s", "req/s",
+                                                 /*higher_is_better=*/true, rate_reps));
+    if (!bench::write_report(report, out_path)) return 1;
   }
 
   bool pass = true;

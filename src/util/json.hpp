@@ -49,4 +49,19 @@ std::optional<JsonValue> parse_json(std::string_view text, std::string* error = 
 /// through byte-for-byte so round-tripping a payload is exact.
 std::string json_escape(std::string_view s);
 
+/// Canonical number formatting for emitted JSON: the shortest decimal
+/// string that parses back to exactly the same double (std::to_chars),
+/// with integral values in [-2^53, 2^53] printed without a fraction or
+/// exponent. Non-finite values (which JSON cannot represent) serialize as
+/// "null" — callers emitting measurements must not produce them.
+std::string format_json_number(double v);
+
+/// Canonical single-line serialization: no whitespace, object members in
+/// insertion order, strings via json_escape, numbers via
+/// format_json_number. Because parse_json preserves member order and
+/// format_json_number round-trips exactly, serialize ∘ parse is the
+/// identity on anything this function emitted — the bit-identity the
+/// benchmark schema tests pin.
+std::string serialize_json(const JsonValue& v);
+
 }  // namespace opm::util

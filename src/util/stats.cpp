@@ -63,6 +63,63 @@ double percentile(std::span<const double> values, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+SampleSummary summarize(std::span<const double> samples) {
+  SampleSummary out;
+  if (samples.empty()) return out;
+  RunningStats rs;
+  for (double s : samples) rs.add(s);
+  out.count = samples.size();
+  out.min = rs.min();
+  out.max = rs.max();
+  out.mean = rs.mean();
+  out.median = median(samples);
+  out.p95 = percentile(samples, 95.0);
+  out.stddev = rs.stddev();
+  out.cv = out.median != 0.0 ? out.stddev / std::abs(out.median) : 0.0;
+  return out;
+}
+
+double coefficient_of_variation(std::span<const double> samples) {
+  if (samples.size() < 2) return 0.0;
+  const double med = median(samples);
+  if (med == 0.0) return 0.0;
+  RunningStats rs;
+  for (double s : samples) rs.add(s);
+  return rs.stddev() / std::abs(med);
+}
+
+double median_of_medians(std::span<const std::vector<double>> repeats) {
+  std::vector<double> medians;
+  medians.reserve(repeats.size());
+  for (const auto& r : repeats)
+    if (!r.empty()) medians.push_back(median(r));
+  return median(medians);
+}
+
+SampleSummary aggregate_repeats(std::span<const std::vector<double>> repeats) {
+  std::vector<double> medians, p95s;
+  RunningStats all;
+  for (const auto& r : repeats) {
+    if (r.empty()) continue;
+    medians.push_back(median(r));
+    p95s.push_back(percentile(r, 95.0));
+    for (double s : r) all.add(s);
+  }
+  SampleSummary out;
+  if (medians.empty()) return out;
+  out.count = all.count();
+  out.min = all.min();
+  out.max = all.max();
+  out.mean = all.mean();
+  out.median = median(medians);
+  out.p95 = median(p95s);
+  RunningStats across;
+  for (double m : medians) across.add(m);
+  out.stddev = across.stddev();
+  out.cv = out.median != 0.0 ? out.stddev / std::abs(out.median) : 0.0;
+  return out;
+}
+
 DensityEstimate kernel_density(std::span<const double> samples, std::size_t grid_points,
                                double bandwidth) {
   DensityEstimate out;

@@ -49,6 +49,53 @@ double percentile(std::span<const double> values, double p);
 /// Median convenience wrapper.
 inline double median(std::span<const double> values) { return percentile(values, 50.0); }
 
+/// Robust descriptive summary of one sample set, as the benchmark
+/// contract reports it (docs/MODEL.md §12): the median is the "typical"
+/// value, p95 the tail/jitter indicator, and cv (= stddev / median, the
+/// coefficient of variation) the stability number that the CI regression
+/// gate scales its tolerance by.
+struct SampleSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;  ///< stddev / |median|; 0 when median == 0 or count < 2
+
+  bool operator==(const SampleSummary&) const = default;
+};
+
+/// Summarizes one flat sample set. Empty input yields all zeros; a single
+/// sample yields min == max == mean == median == p95 with zero spread.
+SampleSummary summarize(std::span<const double> samples);
+
+/// Coefficient of variation: sample stddev divided by |median|. Robust to
+/// outliers in the location estimate (unlike stddev/mean) and invariant
+/// under positive scaling of the samples. 0 for fewer than two samples or
+/// a zero median.
+double coefficient_of_variation(std::span<const double> samples);
+
+/// Median of per-repeat medians — the aggregation the benchmark contract
+/// uses across repeat loops. One pathological repeat (a frequency ramp, a
+/// page-cache flush, a noisy neighbour) shifts exactly one inner median
+/// and is then voted down by the outer median. Empty repeats are skipped;
+/// returns 0 when nothing remains.
+double median_of_medians(std::span<const std::vector<double>> repeats);
+
+/// Aggregates per-repeat sample vectors into one robust summary:
+///   median  = median of per-repeat medians (median-of-medians)
+///   p95     = median of per-repeat p95s
+///   min/max = global extrema over all samples
+///   mean    = arithmetic mean over all samples
+///   stddev  = sample stddev ACROSS the per-repeat medians
+///   cv      = that stddev / |median-of-medians|
+/// stddev/cv deliberately measure run-to-run stability (the thing a CI
+/// tolerance must absorb), not intra-run jitter (which p95 captures).
+/// Repeats with no samples are skipped.
+SampleSummary aggregate_repeats(std::span<const std::vector<double>> repeats);
+
 /// Gaussian kernel density estimate evaluated on a regular grid.
 ///
 /// Used for the Figure 1 reproduction (probability density of achievable

@@ -1,0 +1,178 @@
+// Tests for the opm-bench report schema (util/bench_report): canonical
+// round-trip bit-identity (parse ∘ serialize == identity), required-key
+// and version validation, and — the contract CI leans on — that every
+// committed BENCH_<name>.json baseline in the repo root parses, validates,
+// and re-serializes byte-for-byte. If that last property ever breaks, the
+// trajectory diffs in scripts/ci.sh lose their meaning.
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bench_report.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using opm::util::BenchMetric;
+using opm::util::BenchReport;
+using opm::util::kBenchSchemaName;
+using opm::util::kBenchSchemaVersion;
+
+/// A fully-populated synthetic report exercising every field, including
+/// values that stress canonical number formatting (integral doubles,
+/// shortest-round-trip fractions, negative zero normalization is NOT
+/// expected — -0.0 serializes as "-0").
+BenchReport sample_report() {
+  BenchReport r;
+  r.bench = "synthetic";
+  r.git_rev = "abc1234";
+  r.quick = true;
+  r.environment = {{"compiler", "gcc 12.2.0"}, {"hardware_threads", "1"}};
+  r.knobs = {{"working_set_bytes", 8388608.0}, {"reps", 3.0}};
+
+  BenchMetric m;
+  m.name = "cfg/lines_per_s";
+  m.unit = "lines/s";
+  m.higher_is_better = true;
+  m.repeats = 3;
+  m.iters = 1;
+  m.summary = opm::util::aggregate_repeats(std::vector<std::vector<double>>{
+      {101.25}, {99.5}, {100.0}});
+  m.repeat_medians = {101.25, 99.5, 100.0};
+  r.metrics.push_back(m);
+
+  BenchMetric t;
+  t.name = "cfg/wall_ms";
+  t.unit = "ms";
+  t.higher_is_better = false;
+  t.repeats = 2;
+  t.iters = 4;
+  t.summary = opm::util::aggregate_repeats(std::vector<std::vector<double>>{
+      {0.1, 0.2, 0.30000000000000004, 0.4}, {1e-3, 2e-3, 3e-3, 4e-3}});
+  t.repeat_medians = {0.25, 0.0025};
+  r.metrics.push_back(t);
+  return r;
+}
+
+TEST(BenchSchema, RoundTripIsBitIdentical) {
+  const BenchReport original = sample_report();
+  const std::string text = original.serialize();
+
+  std::string error;
+  const std::optional<BenchReport> parsed = BenchReport::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, original);
+  // The serializer is canonical: re-serializing the parsed report must
+  // reproduce the exact bytes, fractions and integral doubles included.
+  EXPECT_EQ(parsed->serialize(), text);
+}
+
+TEST(BenchSchema, SerializedFormIsCanonicalJson) {
+  const std::string text = sample_report().serialize();
+  // Single line, no whitespace padding, schema header first.
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  EXPECT_EQ(text.rfind("{\"schema\":\"opm-bench\",\"version\":1,", 0), 0u);
+  // Integral doubles print as integers (no ".0" / exponent noise).
+  EXPECT_NE(text.find("\"working_set_bytes\":8388608"), std::string::npos);
+  EXPECT_NE(text.find("\"reps\":3"), std::string::npos);
+}
+
+TEST(BenchSchema, FileRoundTripThroughDisk) {
+  const BenchReport original = sample_report();
+  const std::string path = ::testing::TempDir() + "/opm_bench_schema_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(original.write_file(path, &error)) << error;
+
+  const auto loaded = BenchReport::load_file(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, original);
+
+  // The file is serialize() + exactly one trailing newline.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  EXPECT_EQ(bytes.str(), original.serialize() + "\n");
+}
+
+TEST(BenchSchema, RejectsMissingRequiredKeys) {
+  const std::string text = sample_report().serialize();
+  // Knock out one required key at a time by renaming it.
+  for (const char* key : {"\"bench\":", "\"git_rev\":", "\"quick\":", "\"environment\":",
+                          "\"knobs\":", "\"metrics\":"}) {
+    std::string mutated = text;
+    const auto pos = mutated.find(key);
+    ASSERT_NE(pos, std::string::npos) << key;
+    mutated[pos + 1] = 'X';  // "bench" -> "Xench": key now missing
+    std::string error;
+    EXPECT_FALSE(BenchReport::parse(mutated, &error).has_value()) << key;
+    EXPECT_NE(error.find("missing or mistyped"), std::string::npos) << error;
+  }
+}
+
+TEST(BenchSchema, RejectsMissingMetricKeys) {
+  const std::string text = sample_report().serialize();
+  for (const char* key : {"\"median\":", "\"cv\":", "\"repeat_medians\":"}) {
+    std::string mutated = text;
+    const auto pos = mutated.find(key);
+    ASSERT_NE(pos, std::string::npos) << key;
+    mutated[pos + 1] = 'X';
+    std::string error;
+    EXPECT_FALSE(BenchReport::parse(mutated, &error).has_value()) << key;
+    EXPECT_NE(error.find("missing or mistyped"), std::string::npos) << error;
+  }
+}
+
+TEST(BenchSchema, RejectsWrongSchemaNameAndVersion) {
+  std::string text = sample_report().serialize();
+  std::string error;
+
+  std::string wrong_name = text;
+  wrong_name.replace(wrong_name.find("opm-bench"), 9, "not-bench");
+  EXPECT_FALSE(BenchReport::parse(wrong_name, &error).has_value());
+  EXPECT_NE(error.find("unknown schema"), std::string::npos) << error;
+
+  std::string wrong_version = text;
+  wrong_version.replace(wrong_version.find("\"version\":1"), 11, "\"version\":9");
+  EXPECT_FALSE(BenchReport::parse(wrong_version, &error).has_value());
+  // The distinguished prefix opm_benchdiff keys its exit-2 diagnostics on.
+  EXPECT_EQ(error.rfind("schema-version-mismatch: ", 0), 0u) << error;
+}
+
+TEST(BenchSchema, RejectsNonObjectAndGarbage) {
+  std::string error;
+  EXPECT_FALSE(BenchReport::parse("[1,2,3]", &error).has_value());
+  EXPECT_NE(error.find("not a JSON object"), std::string::npos) << error;
+  EXPECT_FALSE(BenchReport::parse("{nope", &error).has_value());
+  EXPECT_FALSE(BenchReport::load_file("/nonexistent/path.json", &error).has_value());
+}
+
+// The committed baselines are the other half of the contract: CI diffs
+// fresh runs against these files, so each must parse under the current
+// schema version and re-serialize to the exact committed bytes.
+TEST(BenchSchema, CommittedBaselinesRoundTrip) {
+  const std::vector<std::string> baselines = {
+      "BENCH_sweep.json", "BENCH_cache.json", "BENCH_serve.json", "BENCH_sim.json"};
+  for (const std::string& name : baselines) {
+    const std::string path = std::string(OPM_SOURCE_DIR) + "/" + name;
+    std::string error;
+    const auto report = BenchReport::load_file(path, &error);
+    ASSERT_TRUE(report.has_value()) << path << ": " << error;
+    EXPECT_FALSE(report->metrics.empty()) << path;
+    EXPECT_FALSE(report->git_rev.empty()) << path;
+
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    EXPECT_EQ(bytes.str(), report->serialize() + "\n")
+        << path << " is not in canonical form; regenerate it with the harness "
+        << "or `opm_benchdiff --update-baseline`";
+  }
+}
+
+}  // namespace

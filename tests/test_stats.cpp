@@ -1,0 +1,154 @@
+// Tests for the robust estimators behind the statistical perf contract
+// (util/stats: summarize, coefficient_of_variation, median_of_medians,
+// aggregate_repeats — docs/MODEL.md §12). The estimators are what the CI
+// regression gate trusts, so they are pinned on known distributions:
+// exact percentile interpolation, CV scale-invariance, and the
+// one-pathological-repeat robustness that motivates median-of-medians.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace {
+
+using opm::util::SampleSummary;
+using opm::util::aggregate_repeats;
+using opm::util::coefficient_of_variation;
+using opm::util::median_of_medians;
+using opm::util::summarize;
+
+std::vector<double> iota_1_to(int n) {
+  std::vector<double> v;
+  for (int i = 1; i <= n; ++i) v.push_back(i);
+  return v;
+}
+
+TEST(Summarize, KnownUniformDistribution) {
+  // 1..100: every estimator has a closed form under the linear-interpolation
+  // percentile rule rank = p/100 * (n-1).
+  const auto v = iota_1_to(100);
+  const SampleSummary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_DOUBLE_EQ(s.p95, 95.05);
+  // Sample variance of 1..n is n*(n+1)/12; for n=100 that is 2525/3.
+  EXPECT_NEAR(s.stddev, std::sqrt(2525.0 / 3.0), 1e-9);
+  EXPECT_NEAR(s.cv, s.stddev / 50.5, 1e-15);
+}
+
+TEST(Summarize, OddCountMedianIsExactSample) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  const SampleSummary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, EmptyInputIsAllZeros) {
+  const SampleSummary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s, SampleSummary{});
+}
+
+TEST(Summarize, SingleSampleHasZeroSpread) {
+  const std::vector<double> v = {42.0};
+  const SampleSummary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.p95, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.cv, 0.0);
+}
+
+TEST(CoefficientOfVariation, ScaleInvariant) {
+  // CV = stddev/|median| is invariant under positive scaling — the property
+  // that makes a committed baseline's tolerance meaningful on a machine
+  // with a different clock.
+  const std::vector<double> base = {10.0, 11.0, 9.5, 10.5, 10.2};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(v * 1000.0);
+  EXPECT_NEAR(coefficient_of_variation(base), coefficient_of_variation(scaled), 1e-12);
+  EXPECT_GT(coefficient_of_variation(base), 0.0);
+}
+
+TEST(CoefficientOfVariation, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(std::vector<double>{7.0}), 0.0);
+  // Zero median: spread exists but has no scale — defined as 0, not inf.
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(std::vector<double>{-1.0, 0.0, 1.0}), 0.0);
+}
+
+TEST(MedianOfMedians, OnePathologicalRepeatIsVotedDown) {
+  // Three repeats; the middle one hit a frequency ramp and is 50x slower.
+  // A mean-of-means would move by ~17x; the median-of-medians stays at the
+  // healthy repeats' value.
+  const std::vector<std::vector<double>> repeats = {
+      {10.0, 10.1, 9.9},
+      {500.0, 505.0, 495.0},
+      {10.2, 10.0, 10.1},
+  };
+  EXPECT_DOUBLE_EQ(median_of_medians(repeats), 10.1);
+}
+
+TEST(MedianOfMedians, SkipsEmptyRepeats) {
+  const std::vector<std::vector<double>> repeats = {{}, {3.0}, {}, {5.0, 5.0, 5.0}};
+  EXPECT_DOUBLE_EQ(median_of_medians(repeats), 4.0);  // median of {3, 5}
+  EXPECT_DOUBLE_EQ(median_of_medians(std::vector<std::vector<double>>{}), 0.0);
+  EXPECT_DOUBLE_EQ(median_of_medians(std::vector<std::vector<double>>{{}, {}}), 0.0);
+}
+
+TEST(AggregateRepeats, CombinesPerRepeatEstimators) {
+  const std::vector<std::vector<double>> repeats = {
+      {10.0, 12.0, 11.0},  // median 11, p95 11.9
+      {20.0, 22.0, 21.0},  // median 21, p95 21.9
+      {30.0, 32.0, 31.0},  // median 31, p95 31.9
+  };
+  const SampleSummary s = aggregate_repeats(repeats);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 32.0);
+  EXPECT_DOUBLE_EQ(s.median, 21.0);  // median of {11, 21, 31}
+  EXPECT_DOUBLE_EQ(s.p95, 21.9);     // median of {11.9, 21.9, 31.9}
+  EXPECT_DOUBLE_EQ(s.mean, 21.0);
+  // stddev is ACROSS the per-repeat medians {11,21,31}: exactly 10.
+  EXPECT_DOUBLE_EQ(s.stddev, 10.0);
+  EXPECT_DOUBLE_EQ(s.cv, 10.0 / 21.0);
+}
+
+TEST(AggregateRepeats, OutlierRepeatBarelyMovesMedian) {
+  const std::vector<std::vector<double>> clean = {
+      {100.0, 101.0}, {99.0, 100.0}, {100.0, 102.0}};
+  std::vector<std::vector<double>> with_outlier = clean;
+  with_outlier[1] = {5000.0, 5100.0};  // pathological repeat
+  const SampleSummary a = aggregate_repeats(clean);
+  const SampleSummary b = aggregate_repeats(with_outlier);
+  // The median moves from 100.0 to at most the next repeat median (101.0);
+  // the outlier's 5050 never becomes the location estimate.
+  EXPECT_NEAR(a.median, 100.0, 0.6);
+  EXPECT_LE(b.median, 101.0);
+  // The damage shows up where it should: stddev across repeat medians.
+  EXPECT_GT(b.stddev, 100.0 * a.stddev + 1.0);
+}
+
+TEST(AggregateRepeats, EdgeCases) {
+  EXPECT_EQ(aggregate_repeats(std::vector<std::vector<double>>{}), SampleSummary{});
+  EXPECT_EQ(aggregate_repeats(std::vector<std::vector<double>>{{}, {}}), SampleSummary{});
+  // Single repeat with a single sample: everything collapses to the value.
+  const std::vector<std::vector<double>> one = {{7.5}};
+  const SampleSummary s = aggregate_repeats(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.cv, 0.0);
+}
+
+}  // namespace
