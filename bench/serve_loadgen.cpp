@@ -1,4 +1,5 @@
-// Load generator and acceptance harness for opm_serve.
+// Load generator and acceptance harness for the serve tier (opm_serve and
+// opm_router).
 //
 // Default (argument-free) mode is fully self-contained and quick: it
 // starts an in-process serve::Server on a private socket with a scratch
@@ -14,11 +15,29 @@
 //      answers the overflow with structured "overload" rejections carrying
 //      retry_after_ms > 0, while still answering everything exactly once.
 //
-// With --socket=PATH it targets an external server instead (gates 1 and 2
-// still apply; the overload probe is skipped since it is in-process by
-// nature). --tolerant downgrades rejected/failed responses from fatal to
-// counted — the CI drain test fires SIGTERM mid-load and only cares that
-// the server answers every request with *something* structured.
+// With --connect=ADDR (or the pre-v2 --socket=PATH spelling) it targets an
+// external server or router instead — any address the serve tier speaks:
+// unix:PATH or HOST:PORT. --token=SECRET sends the hello handshake first,
+// --v2 wraps every request in the protocol-v2 envelope, and --zipf draws
+// the trace from a seeded zipf distribution over the unique requests
+// instead of the uniform duplicate deal. Gate 1 applies to any target;
+// gate 2 is skipped automatically when the peer's stats carry no cache
+// counters (a router reports its own counters, not its shards'). The
+// overload probe only runs in-process. --tolerant downgrades
+// rejected/failed responses from fatal to counted — the CI drain test
+// fires SIGTERM mid-load and only cares that the server answers every
+// request with *something* structured.
+//
+// --router-bench is the sharded-tier acceptance mode: it stands up an
+// in-process router in front of 1 and then 2 single-worker shards,
+// replays a seeded zipf trace through each topology, verifies payload
+// byte-identity against the offline path, emits BENCH_router.json
+// (opm-bench v1: aggregate req/s per topology plus the 2/1 scaling
+// ratio), and gates the ratio. The required floor is hardware-aware —
+// 1.7x where >= 4 hardware threads exist for 2 shards to actually run
+// on, a sanity floor of 0.75x on smaller machines (a single shared
+// core cannot express parallel speedup; the CI perf job's benchdiff
+// trajectory still tracks the recorded ratio there).
 //
 // The load phase's per-request latencies and per-client throughput are
 // reported through the statistical perf contract (docs/MODEL.md §12):
@@ -26,10 +45,11 @@
 // carries median-of-medians latency and a cross-client CV for the CI
 // trajectory gate (tools/opm_benchdiff).
 //
-//   serve_loadgen [--socket=PATH] [--clients=8] [--dup=4] [--tolerant]
-//                 [--quick] [--out=BENCH_serve.json]
-#include <sys/socket.h>
-#include <sys/un.h>
+//   serve_loadgen [--connect=ADDR | --socket=PATH] [--clients=8] [--dup=4]
+//                 [--token=SECRET] [--v2] [--zipf] [--tolerant] [--quick]
+//                 [--out=BENCH_serve.json]
+//                 [--router-bench [--rb-requests=N] [--rb-clients=N]
+//                                 [--rb-repeats=N] [--rb-out=BENCH_router.json]]
 #include <unistd.h>
 
 #include <algorithm>
@@ -46,11 +66,16 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/sweep.hpp"
+#include "serve/options.hpp"
 #include "serve/protocol.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -58,40 +83,23 @@ namespace {
 using namespace opm;
 namespace protocol = opm::serve::protocol;
 
-/// Blocking newline-framed client over a Unix socket.
+/// Blocking newline-framed client over any serve-tier address
+/// (unix:PATH or HOST:PORT).
 struct SocketClient {
   int fd = -1;
   std::string buf;
 
-  bool connect_to(const std::string& path) {
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) return false;
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) return false;
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-      ::close(fd);
-      fd = -1;
-      return false;
-    }
-    return true;
+  bool connect_to(const std::string& address) {
+    util::SocketAddress addr;
+    std::string error;
+    if (!util::parse_address(address, &addr, &error)) return false;
+    fd = util::connect_to(addr, &error);
+    return fd >= 0;
   }
 
   bool send_line(std::string line) {
     line.push_back('\n');
-    const char* p = line.data();
-    std::size_t left = line.size();
-    while (left > 0) {
-      const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      p += n;
-      left -= static_cast<std::size_t>(n);
-    }
-    return true;
+    return util::send_all(fd, line);
   }
 
   bool recv_line(std::string* line) {
@@ -108,6 +116,17 @@ struct SocketClient {
       if (n <= 0) return false;
       buf.append(chunk, static_cast<std::size_t>(n));
     }
+  }
+
+  /// Shared-secret handshake; required before anything else on
+  /// token-gated TCP listeners.
+  bool hello(const std::string& token) {
+    if (!send_line(R"({"v":2,"req_id":"hello","type":"hello","token":")" +
+                   util::json_escape(token) + "\"}"))
+      return false;
+    std::string line;
+    protocol::ResponseView view;
+    return recv_line(&line) && protocol::parse_response(line, &view) && view.ok;
   }
 
   ~SocketClient() {
@@ -142,9 +161,33 @@ std::vector<std::string> unique_request_lines() {
   };
 }
 
-/// Splices `"id":"..."` into a request line (all trace lines are objects).
-std::string with_id(const std::string& line, const std::string& id) {
+/// Splices the envelope into a request line (all trace lines are
+/// objects): v1 gets `"id"`, v2 gets `"v":2,"req_id"`.
+std::string with_id(const std::string& line, const std::string& id, bool v2) {
+  if (v2) return "{\"v\":2,\"req_id\":\"" + id + "\"," + line.substr(1);
   return "{\"id\":\"" + id + "\"," + line.substr(1);
+}
+
+/// A seeded zipf(s=1) trace over `n_uniques`: rank r is drawn with
+/// probability proportional to 1/(r+1). The skew concentrates load on a
+/// few hot keys — the mix a memoizing service actually sees.
+std::vector<std::size_t> zipf_trace(std::size_t n_uniques, std::size_t length,
+                                    std::uint64_t seed) {
+  std::vector<double> cdf(n_uniques);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n_uniques; ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cdf[r] = total;
+  }
+  util::Xoshiro256 rng(seed);
+  std::vector<std::size_t> trace(length);
+  for (auto& t : trace) {
+    const double u = rng.uniform() * total;
+    t = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (t >= n_uniques) t = n_uniques - 1;
+  }
+  return trace;
 }
 
 /// Extracts a named integer counter from the nested stats envelope.
@@ -158,9 +201,17 @@ std::uint64_t stats_counter(const util::JsonValue& envelope, const char* group,
   return v && v->is_number() ? static_cast<std::uint64_t>(v->number) : 0;
 }
 
-bool fetch_stats(const std::string& socket_path, util::JsonValue* out) {
+/// True when the peer's stats response carries the given counter group —
+/// a server exposes "cache", a router does not.
+bool stats_has_group(const util::JsonValue& envelope, const char* group) {
+  const util::JsonValue* stats = envelope.find("stats");
+  return stats != nullptr && stats->find(group) != nullptr;
+}
+
+bool fetch_stats(const std::string& address, const std::string& token, util::JsonValue* out) {
   SocketClient c;
-  if (!c.connect_to(socket_path)) return false;
+  if (!c.connect_to(address)) return false;
+  if (!token.empty() && !c.hello(token)) return false;
   if (!c.send_line(R"({"type":"stats","id":"loadgen-stats"})")) return false;
   std::string line;
   if (!c.recv_line(&line)) return false;
@@ -238,6 +289,209 @@ bool overload_probe() {
   return static_cast<int>(responses.size()) == kBurst && overload >= 1 && other == 0;
 }
 
+// ----------------------------------------------------------- router bench --
+
+/// Unique requests for the router bench: dense sweeps of ~2-4k points
+/// each (~1-2 ms of model compute), so per-request cost dominates the
+/// socket round-trip and shard workers are the measured lever.
+std::vector<std::string> router_bench_uniques() {
+  const char* platforms[] = {"broadwell-edram-on", "broadwell-edram-off", "knl-flat",
+                             "knl-cache"};
+  const char* kernels[] = {"gemm", "cholesky"};
+  std::vector<std::string> out;
+  for (int i = 0; i < 32; ++i) {
+    const int n_lo = 256 + 16 * i;  // distinct key per i
+    out.push_back(std::string("{\"type\":\"dense\",\"platform\":\"") + platforms[i % 4] +
+                  "\",\"kernel\":\"" + kernels[(i / 4) % 2] +
+                  "\",\"n_lo\":" + std::to_string(n_lo) +
+                  ",\"n_hi\":8192,\"n_step\":64,\"nb_lo\":128,\"nb_hi\":4096,\"nb_step\":128}");
+  }
+  return out;
+}
+
+/// Replays `trace` through an in-process router over `nshards`
+/// single-worker shards. Returns aggregate served req/s; adds payload
+/// mismatches vs `offline` into *mismatches (SIZE_MAX req/s on setup
+/// failure).
+double run_router_topology(int nshards, const std::vector<std::string>& uniques,
+                           const std::vector<std::string>& offline,
+                           const std::vector<std::size_t>& trace, std::size_t clients,
+                           std::size_t* mismatches, std::size_t* failures) {
+  const std::string tag =
+      std::to_string(::getpid()) + "-" + std::to_string(nshards) + "shard";
+  std::vector<std::unique_ptr<serve::Server>> servers;
+  std::vector<std::string> backends;
+  for (int s = 0; s < nshards; ++s) {
+    serve::ServerConfig sc;
+    sc.socket_path = "rb-shard" + std::to_string(s) + "-" + tag + ".sock";
+    sc.max_line_bytes = 8 * 1024 * 1024;  // ~400 KB CSV payloads per response
+    sc.dispatch.queue_depth = 1024;  // the bench measures throughput, not admission
+    sc.dispatch.workers = 1;         // one executor per shard: N shards = N-way parallelism
+    sc.dispatch.shard_id = s;
+    sc.dispatch.shard_count = nshards;
+    servers.push_back(std::make_unique<serve::Server>(sc));
+    std::string error;
+    if (!servers.back()->start(&error)) {
+      std::cout << "router bench: cannot start shard " << s << ": " << error << "\n";
+      return -1.0;
+    }
+    backends.push_back("unix:" + sc.socket_path);
+  }
+  serve::RouterConfig rc;
+  rc.listen_address = "unix:rb-router-" + tag + ".sock";
+  rc.backends = backends;
+  rc.max_line_bytes = 8 * 1024 * 1024;
+  serve::Router router(rc);
+  std::string error;
+  if (!router.start(&error)) {
+    std::cout << "router bench: cannot start router: " << error << "\n";
+    return -1.0;
+  }
+
+  std::vector<std::vector<std::size_t>> per_client(clients);
+  for (std::size_t i = 0; i < trace.size(); ++i) per_client[i % clients].push_back(trace[i]);
+
+  std::vector<ClientResult> results(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;  // opm-lint: allow(thread-ownership) — loadgen clients model independent processes
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientResult& res = results[c];
+      SocketClient sock;
+      if (!sock.connect_to(rc.listen_address)) {
+        std::cout << "router bench: client " << c << " cannot connect to "
+                  << rc.listen_address << ": " << std::strerror(errno) << "\n";
+        res.failed = static_cast<int>(per_client[c].size());
+        return;
+      }
+      for (std::size_t i = 0; i < per_client[c].size(); ++i) {
+        const std::size_t u = per_client[c][i];
+        const std::string id = "c" + std::to_string(c) + "-r" + std::to_string(i);
+        std::string line;
+        if (!sock.send_line(with_id(uniques[u], id, /*v2=*/true)) || !sock.recv_line(&line)) {
+          ++res.failed;
+          return;
+        }
+        protocol::ResponseView view;
+        if (!protocol::parse_response(line, &view) || !view.ok) {
+          ++res.failed;
+          continue;
+        }
+        res.payloads.emplace_back(u, view.payload);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::size_t served = 0;
+  for (const auto& r : results) {
+    served += r.payloads.size();
+    *failures += static_cast<std::size_t>(r.failed);
+    for (const auto& [u, payload] : r.payloads)
+      if (payload != offline[u]) ++*mismatches;
+  }
+
+  router.request_drain();
+  router.wait();
+  for (auto& s : servers) {
+    s->request_drain();
+    s->wait();
+  }
+  return static_cast<double>(served) / std::max(wall_s, 1e-9);
+}
+
+int router_bench(const util::Cli& cli, bool quick) {
+  // Shard dispatcher workers are the parallelism lever under test:
+  // disable the result cache (every request costs real compute) and run
+  // sweeps serially inline so nothing else parallelizes.
+  core::CacheConfig cc;
+  cc.enabled = false;
+  core::configure_result_cache(cc);
+  core::set_sweep_workers(0);
+
+  const int repeats = static_cast<int>(cli.get_int("rb-repeats", quick ? 2 : 3));
+  const std::size_t requests =
+      static_cast<std::size_t>(cli.get_int("rb-requests", quick ? 160 : 320));
+  const std::size_t clients = static_cast<std::size_t>(cli.get_int("rb-clients", 4));
+  const std::string out_path = cli.get("rb-out", "BENCH_router.json");
+
+  const std::vector<std::string> uniques = router_bench_uniques();
+  std::vector<std::string> offline(uniques.size());
+  for (std::size_t u = 0; u < uniques.size(); ++u) {
+    protocol::Request req;
+    protocol::Error err;
+    if (!protocol::parse_request(uniques[u], &req, &err)) {
+      std::cout << "router bench: FAIL — unique " << u << " does not parse: " << err.message
+                << "\n";
+      return 1;
+    }
+    offline[u] = protocol::execute(req);
+  }
+
+  std::size_t mismatches = 0, failures = 0;
+  std::vector<std::vector<double>> rates1, rates2;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto trace =
+        zipf_trace(uniques.size(), requests, 0xC0FFEEull + static_cast<std::uint64_t>(rep));
+    for (const int nshards : {1, 2}) {
+      const double rate = run_router_topology(nshards, uniques, offline, trace, clients,
+                                              &mismatches, &failures);
+      if (rate < 0.0) return 1;
+      (nshards == 1 ? rates1 : rates2).push_back({rate});
+      std::cout << "repeat " << rep << ": " << nshards << " shard(s) "
+                << util::format_fixed(rate, 1) << " req/s\n";
+    }
+  }
+
+  auto median_of = [](const std::vector<std::vector<double>>& reps) {
+    std::vector<double> flat;
+    for (const auto& r : reps) flat.insert(flat.end(), r.begin(), r.end());
+    return util::percentile(flat, 50);
+  };
+  const double rate1 = median_of(rates1);
+  const double rate2 = median_of(rates2);
+  const double ratio = rate2 / std::max(rate1, 1e-9);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double floor = hw >= 4 ? 1.7 : 0.75;
+  std::cout << "\nmedian 1-shard " << util::format_fixed(rate1, 1) << " req/s, 2-shard "
+            << util::format_fixed(rate2, 1) << " req/s, scaling x"
+            << util::format_fixed(ratio, 2) << " (floor x" << util::format_fixed(floor, 2)
+            << " on " << hw << " hardware threads)\n";
+
+  util::BenchReport report = bench::make_report("router", quick);
+  report.knobs.emplace_back("requests", static_cast<double>(requests));
+  report.knobs.emplace_back("clients", static_cast<double>(clients));
+  report.knobs.emplace_back("unique_requests", static_cast<double>(uniques.size()));
+  report.metrics.push_back(bench::value_metric("router/agg_req_per_s_1shard", "req/s",
+                                               /*higher_is_better=*/true, rates1));
+  report.metrics.push_back(bench::value_metric("router/agg_req_per_s_2shard", "req/s",
+                                               /*higher_is_better=*/true, rates2));
+  report.metrics.push_back(bench::value_metric("router/scaling_2v1", "x",
+                                               /*higher_is_better=*/true, {{ratio}}));
+  if (!bench::write_report(report, out_path)) return 1;
+
+  bool pass = true;
+  if (mismatches == 0 && failures == 0) {
+    std::cout << "router gate 1 PASS — every routed payload byte-identical to offline\n";
+  } else {
+    std::cout << "router gate 1 FAIL — " << mismatches << " payload mismatches, " << failures
+              << " failed requests\n";
+    pass = false;
+  }
+  if (ratio >= floor) {
+    std::cout << "router gate 2 PASS — 1->2 shard scaling x" << util::format_fixed(ratio, 2)
+              << " >= x" << util::format_fixed(floor, 2) << "\n";
+  } else {
+    std::cout << "router gate 2 FAIL — 1->2 shard scaling x" << util::format_fixed(ratio, 2)
+              << " < x" << util::format_fixed(floor, 2) << "\n";
+    pass = false;
+  }
+  std::cout << (pass ? "\nrouter bench: all gates PASS\n" : "\nrouter bench: FAIL\n");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,14 +500,22 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   bench::banner("serve_loadgen", "multi-client sweep-service load and acceptance harness");
 
+  const bool quick = cli.has("quick");
+  if (cli.has("router-bench")) return router_bench(cli, quick);
+
   const std::size_t clients = static_cast<std::size_t>(cli.get_int("clients", 8));
   const std::size_t dup = static_cast<std::size_t>(cli.get_int("dup", 4));
   const bool tolerant = cli.has("tolerant");
-  const bool external = cli.has("socket");
-  const bool quick = cli.has("quick");
+  const bool external = cli.has("connect") || cli.has("socket");
+  const bool v2 = cli.has("v2");
+  const bool zipf = cli.has("zipf");
+  const std::string token = cli.get("token", "");
   const std::string out_path = cli.get("out", "BENCH_serve.json");
 
-  std::string socket_path = cli.get("socket", "");
+  // The target address: --connect wins, --socket=PATH is the pre-v2
+  // spelling of --connect=unix:PATH.
+  std::string address = cli.get("connect", "");
+  if (address.empty() && cli.has("socket")) address = "unix:" + cli.get("socket", "");
   std::unique_ptr<serve::Server> server;
   if (!external) {
     // Self-contained mode: private socket, scratch cache wiped up front so
@@ -266,7 +528,9 @@ int main(int argc, char** argv) {
     core::configure_result_cache(cfg.cache);
     core::reset_result_cache_stats();
 
-    socket_path = "serve-loadgen-" + std::to_string(::getpid()) + ".sock";
+    const std::string socket_path =
+        "serve-loadgen-" + std::to_string(::getpid()) + ".sock";
+    address = "unix:" + socket_path;
     serve::ServerConfig sc;
     sc.socket_path = socket_path;
     sc.dispatch.queue_depth = 256;  // the load phase measures coalescing, not admission
@@ -282,20 +546,25 @@ int main(int argc, char** argv) {
   // ---- the trace: every unique request, duplicated, dealt round-robin ----
   const std::vector<std::string> uniques = unique_request_lines();
   std::vector<std::size_t> trace;  // indices into uniques
-  for (std::size_t d = 0; d < dup; ++d)
-    for (std::size_t u = 0; u < uniques.size(); ++u) trace.push_back(u);
-  // Deterministic shuffle (LCG) so concurrent clients hold different mixes
-  // of the same uniques — the duplicate pressure that drives coalescing.
-  std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
-  for (std::size_t i = trace.size(); i > 1; --i) {
-    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
-    std::swap(trace[i - 1], trace[(lcg >> 33) % i]);
+  if (zipf) {
+    trace = zipf_trace(uniques.size(), dup * uniques.size(), 0x5EED5EEDull);
+  } else {
+    for (std::size_t d = 0; d < dup; ++d)
+      for (std::size_t u = 0; u < uniques.size(); ++u) trace.push_back(u);
+    // Deterministic shuffle (LCG) so concurrent clients hold different
+    // mixes of the same uniques — the duplicate pressure that drives
+    // coalescing.
+    std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+    for (std::size_t i = trace.size(); i > 1; --i) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      std::swap(trace[i - 1], trace[(lcg >> 33) % i]);
+    }
   }
   std::vector<std::vector<std::size_t>> per_client(clients);
   for (std::size_t i = 0; i < trace.size(); ++i) per_client[i % clients].push_back(trace[i]);
 
   util::JsonValue stats_before;
-  const bool have_stats_before = fetch_stats(socket_path, &stats_before);
+  const bool have_stats_before = fetch_stats(address, token, &stats_before);
 
   // ---- load phase ----
   const auto t0 = std::chrono::steady_clock::now();
@@ -306,7 +575,7 @@ int main(int argc, char** argv) {
       ClientResult& res = results[c];
       const auto c0 = std::chrono::steady_clock::now();
       SocketClient sock;
-      if (!sock.connect_to(socket_path)) {
+      if (!sock.connect_to(address) || (!token.empty() && !sock.hello(token))) {
         res.failed = static_cast<int>(per_client[c].size());
         return;
       }
@@ -315,7 +584,7 @@ int main(int argc, char** argv) {
         const std::string id = "c" + std::to_string(c) + "-r" + std::to_string(i);
         const auto r0 = std::chrono::steady_clock::now();
         std::string line;
-        if (!sock.send_line(with_id(uniques[u], id)) || !sock.recv_line(&line)) {
+        if (!sock.send_line(with_id(uniques[u], id, v2)) || !sock.recv_line(&line)) {
           ++res.failed;
           return;  // connection is gone; remaining requests count as failed
         }
@@ -348,7 +617,7 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   util::JsonValue stats_after;
-  const bool have_stats_after = fetch_stats(socket_path, &stats_after);
+  const bool have_stats_after = fetch_stats(address, token, &stats_after);
 
   // ---- report ----
   std::size_t served = 0, rejected = 0, failed = 0;
@@ -360,7 +629,8 @@ int main(int argc, char** argv) {
     latencies.insert(latencies.end(), r.latencies_ms.begin(), r.latencies_ms.end());
   }
   std::cout << "\nclients " << clients << ", unique requests " << uniques.size()
-            << ", duplication x" << dup << ", trace " << trace.size() << " requests\n";
+            << (zipf ? ", zipf mix" : (", duplication x" + std::to_string(dup)).c_str())
+            << ", trace " << trace.size() << " requests\n";
   std::cout << "served " << served << ", rejected " << rejected << ", failed " << failed
             << " in " << util::format_fixed(wall_s, 3) << " s  ("
             << util::format_fixed(static_cast<double>(served) / std::max(wall_s, 1e-9), 1)
@@ -421,8 +691,11 @@ int main(int argc, char** argv) {
 
   // Gate 2: the server computed >= dup times fewer sweeps than it served.
   // cache.misses counts actual cold computations; coalesced and cached
-  // duplicates never miss.
-  if (have_stats_before && have_stats_after) {
+  // duplicates never miss. A router's stats carry no cache group (its
+  // counters are its own), so the gate is skipped over that transport.
+  if (have_stats_after && !stats_has_group(stats_after, "cache")) {
+    std::cout << "gate 2 skipped — peer stats carry no cache counters (router target)\n";
+  } else if (have_stats_before && have_stats_after) {
     const std::uint64_t misses = stats_counter(stats_after, "cache", "cache.misses") -
                                  stats_counter(stats_before, "cache", "cache.misses");
     const std::uint64_t coalesced =

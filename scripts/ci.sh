@@ -29,11 +29,14 @@
 # telemetry muted, and diffs the outputs byte for byte. Warm results that
 # differ in any byte fail CI.
 #
-# The serve job exercises opm_serve end to end: the self-contained
+# The serve job exercises the serve tier end to end: the self-contained
 # serve_loadgen gates (byte-identity vs offline, >= 4x request
 # deduplication, structured overload rejections), the same gates against
-# an external server over its Unix socket, and a SIGTERM mid-load that
-# must drain gracefully — exit 0, no orphaned socket file.
+# an external server over its Unix socket, a SIGTERM mid-load that must
+# drain gracefully — exit 0, no orphaned socket file — and the sharded
+# tier: two token-gated opm_serve shards on loopback TCP behind an
+# opm_router, a zipf v2 load driven through the router (byte-identity
+# gate vs the offline library), and a SIGTERM drain of the whole mesh.
 #
 # The perf job is the statistical perf contract (docs/MODEL.md §12): it
 # builds Release, runs every bench harness in --quick mode (sampled
@@ -151,7 +154,7 @@ run_serve() {
   echo "== [serve] configure & build ($dir)"
   cmake -B "$root/$dir" -G Ninja -S "$root" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-  cmake --build "$root/$dir" --target opm_serve serve_loadgen
+  cmake --build "$root/$dir" --target opm_serve opm_router serve_loadgen
   local scratch="$root/$dir/serve-ci-scratch"
   rm -rf "$scratch" "$scratch-ext"
   echo "== [serve] self-contained gates (byte-identity, coalescing, overload)"
@@ -184,6 +187,63 @@ run_serve() {
     exit 1
   fi
   echo "   opm_serve drained: exit 0, socket removed"
+
+  echo "== [serve] sharded tier: 2 TCP shards + opm_router, zipf v2 load"
+  local token="ci-serve-token" l2="$scratch-l2"
+  local -a shard_pids=() shard_ports=()
+  local i log port
+  for i in 0 1; do
+    log="$root/$dir/shard$i.log"
+    "$root/$dir/serve/opm_serve" --listen=127.0.0.1:0 --token="$token" \
+        --shard-id="$i" --shard-count=2 --cache-dir="$l2" \
+        --cache-max-bytes=$((64 * 1024 * 1024)) --no-sweep-stats > "$log" 2>&1 &
+    shard_pids+=($!)
+    for _ in $(seq 1 100); do
+      grep -q 'listening on' "$log" && break
+      sleep 0.1
+    done
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+    if [ -z "$port" ]; then
+      echo "ci: FAIL — shard $i never reported its port (see $log)" >&2
+      exit 1
+    fi
+    shard_ports+=("$port")
+    echo "   shard $i on 127.0.0.1:$port"
+  done
+  local router_log="$root/$dir/router.log"
+  "$root/$dir/serve/opm_router" --listen=127.0.0.1:0 --token="$token" \
+      --shards="127.0.0.1:${shard_ports[0]},127.0.0.1:${shard_ports[1]}" \
+      > "$router_log" 2>&1 &
+  local router_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q 'listening on' "$router_log" && break
+    sleep 0.1
+  done
+  local router_port
+  router_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$router_log" | head -1)"
+  if [ -z "$router_port" ]; then
+    echo "ci: FAIL — opm_router never reported its port (see $router_log)" >&2
+    exit 1
+  fi
+  echo "   router on 127.0.0.1:$router_port -> shards ${shard_ports[*]}"
+  (cd "$root/$dir" && ./bench/serve_loadgen --connect="127.0.0.1:$router_port" \
+      --token="$token" --v2 --zipf --dup=6)
+  echo "== [serve] SIGTERM drains the mesh (router first, then shards)"
+  local rc=0
+  kill -TERM "$router_pid"; wait "$router_pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "ci: FAIL — opm_router exited $rc after SIGTERM (want 0)" >&2
+    exit 1
+  fi
+  for i in 0 1; do
+    rc=0
+    kill -TERM "${shard_pids[$i]}"; wait "${shard_pids[$i]}" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+      echo "ci: FAIL — shard $i exited $rc after SIGTERM (want 0)" >&2
+      exit 1
+    fi
+  done
+  echo "   mesh drained: router + 2 shards all exit 0"
 }
 
 run_perf() {
@@ -203,6 +263,13 @@ run_perf() {
       --out="$root/$dir/BENCH_cache.json"
   (cd "$root/$dir" && ./bench/serve_loadgen --quick --cache-dir="$scratch-serve" \
       --out="$root/$dir/BENCH_serve.json")
+  # Router scaling: in-process router over 1 vs 2 single-worker shards on
+  # a zipf mix. The harness's own gate is hardware-aware (>= 1.7x with
+  # >= 4 hardware threads, sanity floor 0.75x on the shared single-core
+  # CI runner); the benchdiff below tracks the recorded trajectory either
+  # way.
+  (cd "$root/$dir" && ./bench/serve_loadgen --router-bench --quick \
+      --rb-out="$root/$dir/BENCH_router.json")
 
   echo "== [perf] trajectory diff vs committed baselines (CV-aware tolerance)"
   # The CI container is a single shared hardware thread: measured
@@ -213,7 +280,7 @@ run_perf() {
   # clears both. Tighten on dedicated hardware.
   local tolerance=(--k=4 --rel-floor=0.30)
   local bench
-  for bench in sim sweep cache serve; do
+  for bench in sim sweep cache serve router; do
     echo "-- opm_benchdiff BENCH_$bench.json"
     "$root/$dir/tools/opm_benchdiff" "${tolerance[@]}" "$root/BENCH_$bench.json" \
         "$root/$dir/BENCH_$bench.json"

@@ -1,5 +1,6 @@
 #include "core/result_cache.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -99,6 +100,10 @@ struct ResultCache::Impl {
   util::Counter& version_skew = registry.counter("cache.version_skew");
   util::Counter& type_mismatch = registry.counter("cache.type_mismatch");
   util::Counter& io_errors = registry.counter("cache.io_errors");
+  util::Counter& evicted_memory = registry.counter("cache.evicted_memory");
+  util::Counter& evicted_budget = registry.counter("cache.evicted_budget");
+  util::Counter& evicted_orphan = registry.counter("cache.evicted_orphan");
+  util::Counter& evicted_bytes = registry.counter("cache.evicted_bytes");
   util::DoubleCounter& lookup_seconds = registry.double_counter("cache.lookup_seconds");
   util::DoubleCounter& store_seconds = registry.double_counter("cache.store_seconds");
   std::atomic<std::uint64_t> tmp_counter{0};
@@ -149,6 +154,7 @@ struct ResultCache::Impl {
     while (s.lru.size() > cap) {
       s.index.erase(s.lru.back().key);
       s.lru.pop_back();
+      evicted_memory.add(1);
     }
   }
 
@@ -184,6 +190,10 @@ struct ResultCache::Impl {
                  static_cast<std::streamsize>(payload_len)))
       return ReadOutcome::kCorrupt;
     if (payload_checksum(payload) != checksum) return ReadOutcome::kCorrupt;
+    // LRU-by-mtime: a disk hit refreshes its record so budget pruning
+    // deletes cold records first. Best effort — a read-only cache dir
+    // still serves hits.
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     out = std::move(payload);
     return ReadOutcome::kOk;
   }
@@ -227,7 +237,65 @@ struct ResultCache::Impl {
       fs::remove(tmp_path, ec);
       return false;
     }
+    if (cfg.max_disk_bytes > 0) prune_disk(cfg);
     return true;
+  }
+
+  util::Mutex prune_mutex;  // one pruner at a time within this process
+
+  /// Walks the cache dir and deletes (a) .tmp- scratch files older than
+  /// five minutes — leftovers from crashed writers, never a live write —
+  /// and (b) the oldest-mtime records until the directory fits
+  /// max_disk_bytes. Runs after every publishing store; store frequency
+  /// is bounded by recompute cost, so the O(records) scan stays cheap
+  /// relative to the work that triggered it.
+  void prune_disk(const CacheConfig& cfg) OPM_EXCLUDES(prune_mutex) {
+    util::MutexLock lock(prune_mutex);
+    struct File {
+      fs::path path;
+      fs::file_time_type mtime;
+      std::uintmax_t size = 0;
+    };
+    std::vector<File> records;
+    std::uintmax_t total = 0;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    for (fs::directory_iterator it(cfg.dir, ec), end; !ec && it != end; it.increment(ec)) {
+      const fs::path path = it->path();
+      const std::string name = path.filename().string();
+      std::error_code fec;
+      if (name.rfind(".tmp-", 0) == 0) {
+        const auto mtime = fs::last_write_time(path, fec);
+        if (!fec && now - mtime > std::chrono::minutes(5)) {
+          const auto size = fs::file_size(path, fec);
+          if (fs::remove(path, fec) && !fec) {
+            evicted_orphan.add(1);
+            evicted_bytes.add(fec ? 0 : static_cast<std::uint64_t>(size));
+          }
+        }
+        continue;
+      }
+      if (name.size() < 8 || name.compare(name.size() - 7, 7, ".opmrec") != 0) continue;
+      File f;
+      f.path = path;
+      f.size = it->file_size(fec);
+      if (fec) continue;
+      f.mtime = fs::last_write_time(path, fec);
+      if (fec) continue;
+      total += f.size;
+      records.push_back(std::move(f));
+    }
+    if (total <= cfg.max_disk_bytes) return;
+    std::sort(records.begin(), records.end(),
+              [](const File& a, const File& b) { return a.mtime < b.mtime; });
+    for (const File& f : records) {
+      if (total <= cfg.max_disk_bytes) break;
+      std::error_code fec;
+      if (!fs::remove(f.path, fec) || fec) continue;  // racing pruner got it first
+      total -= f.size;
+      evicted_budget.add(1);
+      evicted_bytes.add(f.size);
+    }
   }
 };
 
@@ -271,6 +339,10 @@ CacheStats ResultCache::stats() const {
   s.version_skew = impl_->version_skew.value();
   s.type_mismatch = impl_->type_mismatch.value();
   s.io_errors = impl_->io_errors.value();
+  s.evicted_memory = impl_->evicted_memory.value();
+  s.evicted_budget = impl_->evicted_budget.value();
+  s.evicted_orphan = impl_->evicted_orphan.value();
+  s.evicted_bytes = impl_->evicted_bytes.value();
   s.lookup_seconds = impl_->lookup_seconds.value();
   s.store_seconds = impl_->store_seconds.value();
   return s;

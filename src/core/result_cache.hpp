@@ -49,6 +49,14 @@ struct CacheConfig {
   bool disk = true;            ///< persist records under `dir` (when enabled)
   std::string dir = ".opm-cache";
   std::size_t max_entries = 4096;  ///< in-memory LRU capacity (entries, all shards)
+  /// Byte budget for the disk tier (payload + header bytes of .opmrec
+  /// records; 0 = unlimited). When a store pushes the directory over
+  /// budget, the oldest records by mtime are deleted until it fits —
+  /// LRU-by-mtime, because disk hits touch their record's mtime. Several
+  /// processes sharing one cache dir (the sharded serve tier's L2) each
+  /// prune safely: deleting a record another process is reading degrades
+  /// to a miss there, never to corruption.
+  std::size_t max_disk_bytes = 0;
 };
 
 /// Process-wide counters, aggregated across every lookup/store.
@@ -63,6 +71,11 @@ struct CacheStats {
   std::size_t version_skew = 0;    ///< record from another cache version → recompute
   std::size_t type_mismatch = 0;   ///< element size differs from the request → recompute
   std::size_t io_errors = 0;       ///< unreadable/unwritable files or dirs → recompute
+  // Evictions, by reason (also in the metrics registry as cache.evicted_*):
+  std::size_t evicted_memory = 0;  ///< memory LRU entries popped at capacity
+  std::size_t evicted_budget = 0;  ///< disk records deleted by max_disk_bytes pruning
+  std::size_t evicted_orphan = 0;  ///< stale .tmp- files from crashed writers
+  std::size_t evicted_bytes = 0;   ///< disk bytes reclaimed by pruning (both reasons)
   double lookup_seconds = 0.0;
   double store_seconds = 0.0;
 

@@ -47,6 +47,11 @@ SweepConfig apply_env(SweepConfig base) {
     base.cache.dir = v;
     base.cache.enabled = true;
   }
+  if (const std::string v = env_str("OPM_CACHE_MAX_BYTES"); !v.empty()) {
+    char* end = nullptr;
+    const long long n = std::strtoll(v.c_str(), &end, 10);
+    if (end && *end == '\0' && n >= 0) base.cache.max_disk_bytes = static_cast<std::size_t>(n);
+  }
   if (truthy(env_str("OPM_NO_CACHE"))) base.cache.enabled = false;
   if (const std::string v = env_str("OPM_SWEEP_STATS"); !v.empty())
     base.telemetry = truthy(v);
@@ -66,6 +71,10 @@ SweepConfig resolve_sweep_config(int argc, const char* const* argv) {
       cfg.cache.dir = dir;
       cfg.cache.enabled = true;
     }
+  }
+  if (cli.has("cache-max-bytes")) {
+    const std::int64_t n = cli.get_int("cache-max-bytes", -1);
+    if (n >= 0) cfg.cache.max_disk_bytes = static_cast<std::size_t>(n);
   }
   if (cli.has("no-cache")) cfg.cache.enabled = false;
   if (cli.has("no-sweep-stats")) cfg.telemetry = false;

@@ -11,12 +11,13 @@
 /// SweepConfig — defaults, overlaid by environment, overlaid by CLI (see
 /// bench::init) — and applies it once:
 ///
-///   knob                 CLI                 environment
-///   ------------------   -----------------   --------------------
-///   workers              --sweep-workers=N   OPM_SWEEP_WORKERS=N
-///   cache.dir            --cache-dir=PATH    OPM_CACHE_DIR=PATH
-///   cache.enabled        --no-cache          OPM_NO_CACHE=1
-///   telemetry            --no-sweep-stats    OPM_SWEEP_STATS=0
+///   knob                 CLI                    environment
+///   ------------------   --------------------   ------------------------
+///   workers              --sweep-workers=N      OPM_SWEEP_WORKERS=N
+///   cache.dir            --cache-dir=PATH       OPM_CACHE_DIR=PATH
+///   cache.enabled        --no-cache             OPM_NO_CACHE=1
+///   cache.max_disk_bytes --cache-max-bytes=N    OPM_CACHE_MAX_BYTES=N
+///   telemetry            --no-sweep-stats       OPM_SWEEP_STATS=0
 ///
 /// Tests and libraries that need one specific knob can still call
 /// set_sweep_workers() / configure_result_cache() directly.
@@ -34,9 +35,9 @@ struct SweepConfig {
 /// SweepConfig runs with the cache disabled.
 SweepConfig default_sweep_config();
 
-/// Overlays OPM_SWEEP_WORKERS / OPM_CACHE_DIR / OPM_NO_CACHE /
-/// OPM_SWEEP_STATS onto `base`. Unset or unparsable variables leave the
-/// base value untouched.
+/// Overlays OPM_SWEEP_WORKERS / OPM_CACHE_DIR / OPM_CACHE_MAX_BYTES /
+/// OPM_NO_CACHE / OPM_SWEEP_STATS onto `base`. Unset or unparsable
+/// variables leave the base value untouched.
 SweepConfig apply_env(SweepConfig base);
 
 /// The full defaults → environment → CLI resolution (the table above) in

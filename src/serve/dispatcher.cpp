@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/single_flight.hpp"
+#include "serve/router.hpp"
 #include "util/metrics.hpp"
 #include "util/mutex.hpp"
 
@@ -34,8 +35,12 @@ struct Dispatcher::Impl {
         computed(util::MetricsRegistry::instance().counter("serve.computed")),
         coalesce_hits(util::MetricsRegistry::instance().counter("serve.coalesce_hits")),
         rejected_overload(util::MetricsRegistry::instance().counter("serve.rejected_overload")),
+        rejected_quota(util::MetricsRegistry::instance().counter("serve.rejected_quota")),
         rejected_draining(util::MetricsRegistry::instance().counter("serve.rejected_draining")),
-        errors_internal(util::MetricsRegistry::instance().counter("serve.errors_internal")) {}
+        rejected_redirect(util::MetricsRegistry::instance().counter("serve.rejected_redirect")),
+        errors_internal(util::MetricsRegistry::instance().counter("serve.errors_internal")) {
+    if (cfg.shard_count > 0) ring = HashRing(cfg.shard_count);
+  }
 
   struct Item {
     protocol::Request req;
@@ -43,13 +48,17 @@ struct Dispatcher::Impl {
   };
 
   DispatchConfig config;
+  /// Non-empty iff this dispatcher is one shard of a sharded tier.
+  HashRing ring;
 
   util::Counter& admitted;
   util::Counter& responses;
   util::Counter& computed;
   util::Counter& coalesce_hits;
   util::Counter& rejected_overload;
+  util::Counter& rejected_quota;
   util::Counter& rejected_draining;
+  util::Counter& rejected_redirect;
   util::Counter& errors_internal;
 
   mutable util::Mutex mutex;
@@ -76,8 +85,13 @@ struct Dispatcher::Impl {
     respond(std::move(line));
   }
 
+  protocol::Envelope envelope(const protocol::Request& req) const {
+    return protocol::envelope_of(req, config.shard_id);
+  }
+
   void process(Item item) {
     const util::Digest128 key = protocol::request_key(item.req);
+    const protocol::Envelope env = envelope(item.req);
     bool leader = false;
     auto flight = flights.try_begin(key, &leader);
     if (leader) {
@@ -85,29 +99,28 @@ struct Dispatcher::Impl {
         auto payload = std::make_shared<const std::string>(protocol::execute(item.req));
         computed.add(1);
         flights.complete(flight, payload);
-        answer(item.respond,
-               protocol::render_response(item.req.id, item.req.type, *payload));
+        answer(item.respond, protocol::render_response(env, item.req.type, *payload));
       } catch (const std::exception& e) {
         flights.fail(flight);
         errors_internal.add(1);
         answer(item.respond,
-               protocol::render_error(item.req.id, rejection("internal", e.what(), 0)));
+               protocol::render_error(env, rejection("internal", e.what(), 0)));
       } catch (...) {
         flights.fail(flight);
         errors_internal.add(1);
-        answer(item.respond, protocol::render_error(
-                                 item.req.id, rejection("internal", "sweep failed", 0)));
+        answer(item.respond,
+               protocol::render_error(env, rejection("internal", "sweep failed", 0)));
       }
       return;
     }
     const core::SingleFlight::Payload payload = flights.share(flight);
     if (payload) {
       coalesce_hits.add(1);
-      answer(item.respond, protocol::render_response(item.req.id, item.req.type, *payload));
+      answer(item.respond, protocol::render_response(env, item.req.type, *payload));
     } else {
       errors_internal.add(1);
       answer(item.respond,
-             protocol::render_error(item.req.id,
+             protocol::render_error(env,
                                     rejection("internal", "coalesced computation failed", 0)));
     }
   }
@@ -155,22 +168,50 @@ Dispatcher::~Dispatcher() {
 }
 
 void Dispatcher::submit(std::uint64_t client, protocol::Request req, Respond respond) {
+  const protocol::Envelope env = impl_->envelope(req);
   // Control-plane requests bypass the queue: observability must keep
   // working precisely when the queue is the problem.
   if (req.type == protocol::RequestType::kPing) {
-    impl_->answer(respond, protocol::render_pong(req.id));
+    impl_->answer(respond, protocol::render_pong(env));
     return;
   }
   if (req.type == protocol::RequestType::kStats) {
-    impl_->answer(respond, protocol::render_stats(req.id, stats_json()));
+    impl_->answer(respond, protocol::render_stats(env, stats_json()));
+    return;
+  }
+  if (req.type == protocol::RequestType::kHello) {
+    // Auth lives in the transport; a hello that reaches the dispatcher
+    // (unix / stdio, or an already-authed connection) just acks.
+    impl_->answer(respond, protocol::render_hello_ok(env));
     return;
   }
 
+  // Ownership check (sharded tier only): a sweep this shard does not own
+  // is redirected, never computed — computing it would pollute this
+  // shard's memory LRU with another shard's key range.
+  if (!impl_->ring.empty()) {
+    const int owner = impl_->ring.lookup(protocol::request_key(req));
+    if (owner != impl_->config.shard_id) {
+      impl_->rejected_redirect.add(1);
+      protocol::Error err = rejection(
+          "redirect", "this shard does not own the request key; ask the hinted shard", 0);
+      err.shard = owner;
+      impl_->answer(respond, protocol::render_error(env, err));
+      return;
+    }
+  }
+
   bool draining = false;
+  bool over_quota = false;
   {
     util::MutexLock lock(impl_->mutex);
     draining = impl_->draining;
-    if (!draining && impl_->queued_count < impl_->config.queue_depth) {
+    if (!draining && impl_->config.per_client_quota > 0) {
+      auto it = impl_->queues.find(client);
+      over_quota = it != impl_->queues.end() &&
+                   it->second.size() >= impl_->config.per_client_quota;
+    }
+    if (!draining && !over_quota && impl_->queued_count < impl_->config.queue_depth) {
       auto& q = impl_->queues[client];
       if (q.empty()) impl_->rr.push_back(client);
       q.push_back(Impl::Item{std::move(req), std::move(respond)});
@@ -185,14 +226,20 @@ void Dispatcher::submit(std::uint64_t client, protocol::Request req, Respond res
     impl_->rejected_draining.add(1);
     impl_->answer(respond,
                   protocol::render_error(
-                      req.id, rejection("draining", "server is draining; resubmit elsewhere",
-                                        impl_->config.retry_after_ms)));
+                      env, rejection("draining", "server is draining; resubmit elsewhere",
+                                     impl_->config.retry_after_ms)));
+  } else if (over_quota) {
+    impl_->rejected_quota.add(1);
+    impl_->answer(respond,
+                  protocol::render_error(
+                      env, rejection("overload", "per-client quota exceeded; retry later",
+                                     impl_->config.retry_after_ms)));
   } else {
     impl_->rejected_overload.add(1);
     impl_->answer(respond,
                   protocol::render_error(
-                      req.id, rejection("overload", "request queue is full; retry later",
-                                        impl_->config.retry_after_ms)));
+                      env, rejection("overload", "request queue is full; retry later",
+                                     impl_->config.retry_after_ms)));
   }
 }
 

@@ -35,13 +35,27 @@
 /// (on a worker thread, or inline on the submitting thread for
 /// rejections/stats/ping). Counters land in util::MetricsRegistry under
 /// "serve.": admitted, responses, computed, coalesce_hits,
-/// rejected_overload, rejected_draining, errors_internal.
+/// rejected_overload, rejected_quota, rejected_draining,
+/// rejected_redirect, errors_internal.
 namespace opm::serve {
 
 struct DispatchConfig {
   std::size_t queue_depth = 64;  ///< max requests queued (not yet executing)
   std::size_t workers = 2;       ///< executor threads
   int retry_after_ms = 50;       ///< backoff hint in overload/draining rejections
+  /// Per-client cap on queued requests (0 = only the global bound). A
+  /// client at its quota gets an "overload" rejection even while the
+  /// global queue has room — one peer cannot own the whole queue.
+  std::size_t per_client_quota = 0;
+  /// Sharded tier identity. shard_count > 0 makes this dispatcher
+  /// ownership-aware: sweep requests whose ring owner (HashRing over
+  /// request_key, the same ring the router builds) is a different shard
+  /// are answered with a "redirect" error carrying the owner id, instead
+  /// of being computed here — that is what keeps each shard's memory LRU
+  /// hot for its own key range even when a stale router asks the wrong
+  /// shard. shard_id also lands in every v2 response envelope.
+  int shard_id = 0;
+  int shard_count = 0;
 };
 
 class Dispatcher {

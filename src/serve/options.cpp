@@ -1,0 +1,75 @@
+#include "serve/options.hpp"
+
+#include "util/cli.hpp"
+
+namespace opm::serve {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Options resolve_options(const util::Cli& cli) {
+  Options opt;
+  // --socket is the pre-v2 spelling; --listen wins when both appear.
+  if (cli.has("socket")) opt.listen = "unix:" + cli.get("socket", "opm-serve.sock");
+  opt.listen = cli.get("listen", opt.listen);
+  opt.connect = cli.get("connect", opt.connect);
+  opt.shards = split_commas(cli.get("shards", ""));
+  opt.ring_shards = static_cast<int>(cli.get_int("ring-shards", opt.ring_shards));
+  opt.shard_id = static_cast<int>(cli.get_int("shard-id", opt.shard_id));
+  opt.shard_count = static_cast<int>(cli.get_int("shard-count", opt.shard_count));
+  opt.token = cli.get("token", opt.token);
+  opt.per_client_quota =
+      static_cast<std::size_t>(cli.get_int("quota", static_cast<std::int64_t>(opt.per_client_quota)));
+  opt.queue_depth =
+      static_cast<std::size_t>(cli.get_int("queue-depth", static_cast<std::int64_t>(opt.queue_depth)));
+  opt.serve_workers = static_cast<std::size_t>(
+      cli.get_int("serve-workers", static_cast<std::int64_t>(opt.serve_workers)));
+  opt.retry_after_ms = static_cast<int>(cli.get_int("retry-after-ms", opt.retry_after_ms));
+  opt.max_line_bytes = static_cast<std::size_t>(
+      cli.get_int("max-line-bytes", static_cast<std::int64_t>(opt.max_line_bytes)));
+  opt.max_redirects = static_cast<int>(cli.get_int("max-redirects", opt.max_redirects));
+  opt.stdio = cli.has("stdio");
+  return opt;
+}
+
+ServerConfig to_server_config(const Options& opt) {
+  ServerConfig config;
+  config.listen_address = opt.listen;
+  config.auth_token = opt.token;
+  config.max_line_bytes = opt.max_line_bytes;
+  config.dispatch.queue_depth = opt.queue_depth;
+  config.dispatch.workers = opt.serve_workers;
+  config.dispatch.retry_after_ms = opt.retry_after_ms;
+  config.dispatch.per_client_quota = opt.per_client_quota;
+  config.dispatch.shard_id = opt.shard_id;
+  config.dispatch.shard_count = opt.shard_count;
+  return config;
+}
+
+RouterConfig to_router_config(const Options& opt) {
+  RouterConfig config;
+  config.listen_address = opt.listen;
+  config.backends = opt.shards;
+  config.ring_shards = opt.ring_shards;
+  config.auth_token = opt.token;
+  config.backend_token = opt.token;
+  config.max_line_bytes = opt.max_line_bytes;
+  config.max_redirects = opt.max_redirects;
+  return config;
+}
+
+}  // namespace opm::serve

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -22,6 +23,22 @@ std::string hexf(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%a", v);
   return buf;
+}
+
+/// Shortest decimal that round-trips the exact double — what
+/// render_request uses so a forwarded request re-parses to bit-identical
+/// canonical structs while staying a legal JSON number (hex floats are
+/// not).
+std::string shortest(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+std::string shortest(std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
 }
 
 bool parse_kernel(const std::string& name, core::KernelId* out) {
@@ -89,8 +106,31 @@ const char* to_string(RequestType type) {
     case RequestType::kFootprint: return "footprint";
     case RequestType::kStats: return "stats";
     case RequestType::kPing: return "ping";
+    case RequestType::kHello: return "hello";
   }
   return "?";
+}
+
+const char* kernel_name(core::KernelId id) {
+  switch (id) {
+    case core::KernelId::kGemm: return "gemm";
+    case core::KernelId::kCholesky: return "cholesky";
+    case core::KernelId::kSpmv: return "spmv";
+    case core::KernelId::kSptrans: return "sptrans";
+    case core::KernelId::kSptrsv: return "sptrsv";
+    case core::KernelId::kFft: return "fft";
+    case core::KernelId::kStencil: return "stencil";
+    case core::KernelId::kStream: return "stream";
+  }
+  return "?";
+}
+
+Envelope envelope_of(const Request& req, int shard) {
+  Envelope env;
+  env.version = req.version;
+  env.id = req.id;
+  env.shard = shard;
+  return env;
 }
 
 bool resolve_platform(std::string_view name, sim::Platform* out) {
@@ -105,6 +145,10 @@ bool resolve_platform(std::string_view name, sim::Platform* out) {
 }
 
 bool parse_request(std::string_view line, Request* out, Error* err) {
+  // A reused *out must not leak a previous request's envelope into this
+  // parse (the version decides which id spelling is legal below).
+  out->version = 1;
+  out->id.clear();
   std::string parse_error;
   const auto doc = util::parse_json(line, &parse_error);
   if (!doc) {
@@ -120,11 +164,38 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
     return false;
   }
 
-  // Recover the id first so even a rejected request's error echoes it.
-  if (const util::JsonValue* id = doc->find("id")) {
-    if (!id->is_string()) return bad(err, "field \"id\" must be a string");
-    if (id->string.size() > kMaxIdBytes) return bad(err, "field \"id\" exceeds 128 bytes");
-    out->id = id->string;
+  // Recover the envelope first — version, then the version's id spelling —
+  // so even a rejected request's error echoes both.
+  if (const util::JsonValue* v = doc->find("v")) {
+    if (!v->is_number() || v->number != std::floor(v->number))
+      return bad(err, "field \"v\" must be an integer");
+    if (v->number != 1.0 && v->number != 2.0) {
+      err->category = "unsupported-version";
+      err->message = "protocol version " + shortest(v->number) +
+                     " is not supported (this server speaks v1 and v2)";
+      err->retry_after_ms = 0;
+      return false;
+    }
+    out->version = static_cast<int>(v->number);
+  }
+  const util::JsonValue* id_field = doc->find("id");
+  const util::JsonValue* req_id_field = doc->find("req_id");
+  if (out->version == 2) {
+    if (id_field) return bad(err, "v2 requests name the echo token \"req_id\", not \"id\"");
+    if (req_id_field) {
+      if (!req_id_field->is_string()) return bad(err, "field \"req_id\" must be a string");
+      if (req_id_field->string.size() > kMaxIdBytes)
+        return bad(err, "field \"req_id\" exceeds 128 bytes");
+      out->id = req_id_field->string;
+    }
+  } else {
+    if (req_id_field) return bad(err, "field \"req_id\" requires \"v\":2");
+    if (id_field) {
+      if (!id_field->is_string()) return bad(err, "field \"id\" must be a string");
+      if (id_field->string.size() > kMaxIdBytes)
+        return bad(err, "field \"id\" exceeds 128 bytes");
+      out->id = id_field->string;
+    }
   }
 
   const util::JsonValue* type = doc->find("type");
@@ -136,10 +207,20 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
   else if (t == "footprint") out->type = RequestType::kFootprint;
   else if (t == "stats") out->type = RequestType::kStats;
   else if (t == "ping") out->type = RequestType::kPing;
+  else if (t == "hello") out->type = RequestType::kHello;
   else return bad(err, "unknown request type \"" + t + "\"");
 
   if (out->type == RequestType::kStats || out->type == RequestType::kPing)
-    return check_fields(*doc, {"type", "id"}, err);
+    return check_fields(*doc, {"type", "id", "v", "req_id"}, err);
+
+  if (out->type == RequestType::kHello) {
+    if (!check_fields(*doc, {"type", "id", "v", "req_id", "token"}, err)) return false;
+    if (const util::JsonValue* token = doc->find("token")) {
+      if (!token->is_string()) return bad(err, "field \"token\" must be a string");
+      out->token = token->string;
+    }
+    return true;
+  }
 
   // Sweep requests: resolve the platform, then the type-specific fields.
   const util::JsonValue* platform = doc->find("platform");
@@ -164,8 +245,8 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
   switch (out->type) {
     case RequestType::kDense: {
       if (!check_fields(*doc,
-                        {"type", "id", "platform", "kernel", "n_lo", "n_hi", "n_step",
-                         "nb_lo", "nb_hi", "nb_step"},
+                        {"type", "id", "v", "req_id", "platform", "kernel", "n_lo", "n_hi",
+                         "n_step", "nb_lo", "nb_hi", "nb_step"},
                         err))
         return false;
       core::DenseSweepRequest& r = out->dense;
@@ -191,7 +272,9 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
       return true;
     }
     case RequestType::kSparse: {
-      if (!check_fields(*doc, {"type", "id", "platform", "kernel", "merge_based"}, err))
+      if (!check_fields(*doc,
+                        {"type", "id", "v", "req_id", "platform", "kernel", "merge_based"},
+                        err))
         return false;
       core::SparseSweepRequest& r = out->sparse;
       if (have_kernel) {
@@ -204,7 +287,9 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
       return true;
     }
     case RequestType::kFootprint: {
-      if (!check_fields(*doc, {"type", "id", "platform", "kernel", "fp_lo", "fp_hi", "points"},
+      if (!check_fields(*doc,
+                        {"type", "id", "v", "req_id", "platform", "kernel", "fp_lo", "fp_hi",
+                         "points"},
                         err))
         return false;
       core::FootprintSweepRequest& r = out->footprint;
@@ -300,40 +385,205 @@ std::string render_points_csv(const std::vector<core::SweepPoint>& points) {
   return out;
 }
 
-std::string render_response(const std::string& id, RequestType type,
+std::string render_request(const Request& req) {
+  std::string out = "{\"v\":2,\"req_id\":\"";
+  out += util::json_escape(req.id);
+  out += "\",\"type\":\"";
+  out += to_string(req.type);
+  out += '"';
+  if (req.type == RequestType::kHello) {
+    if (!req.token.empty()) {
+      out += ",\"token\":\"";
+      out += util::json_escape(req.token);
+      out += '"';
+    }
+    out += '}';
+    return out;
+  }
+  if (req.type == RequestType::kStats || req.type == RequestType::kPing) {
+    out += '}';
+    return out;
+  }
+  out += ",\"platform\":\"";
+  out += util::json_escape(req.platform_name);
+  out += '"';
+  switch (req.type) {
+    case RequestType::kDense: {
+      const core::DenseSweepRequest& r = req.dense;
+      out += ",\"kernel\":\"";
+      out += kernel_name(r.kernel);
+      out += "\",\"n_lo\":" + shortest(r.n_lo) + ",\"n_hi\":" + shortest(r.n_hi) +
+             ",\"n_step\":" + shortest(r.n_step) + ",\"nb_lo\":" + shortest(r.nb_lo) +
+             ",\"nb_hi\":" + shortest(r.nb_hi) + ",\"nb_step\":" + shortest(r.nb_step);
+      break;
+    }
+    case RequestType::kSparse: {
+      const core::SparseSweepRequest& r = req.sparse;
+      out += ",\"kernel\":\"";
+      out += kernel_name(r.kernel);
+      out += "\",\"merge_based\":";
+      out += r.merge_based ? "true" : "false";
+      break;
+    }
+    case RequestType::kFootprint: {
+      const core::FootprintSweepRequest& r = req.footprint;
+      out += ",\"kernel\":\"";
+      out += kernel_name(r.kernel);
+      out += "\",\"fp_lo\":" + shortest(r.fp_lo) + ",\"fp_hi\":" + shortest(r.fp_hi) +
+             ",\"points\":" + shortest(static_cast<std::uint64_t>(r.points));
+      break;
+    }
+    default:
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Envelope prefix through the echoed token: v1 `{"id":"X"`, v2
+/// `{"v":2,"req_id":"X"`. Every response line starts here.
+std::string envelope_prefix(const Envelope& env) {
+  std::string out = env.version == 2 ? "{\"v\":2,\"req_id\":\"" : "{\"id\":\"";
+  out += util::json_escape(env.id);
+  out += '"';
+  return out;
+}
+
+/// The `,"shard":N` member v2 responses carry (v1: nothing).
+std::string shard_member(const Envelope& env) {
+  if (env.version != 2) return {};
+  return ",\"shard\":" + shortest(static_cast<std::uint64_t>(env.shard < 0 ? 0 : env.shard));
+}
+
+}  // namespace
+
+std::string render_response(const Envelope& env, RequestType type,
                             const std::string& payload) {
-  std::string out = "{\"id\":\"";
-  out += util::json_escape(id);
-  out += "\",\"ok\":true,\"type\":\"";
+  std::string out = envelope_prefix(env);
+  out += ",\"ok\":true,\"type\":\"";
   out += to_string(type);
-  out += "\",\"payload\":\"";
+  out += '"';
+  out += shard_member(env);
+  out += ",\"payload\":\"";
   out += util::json_escape(payload);
   out += "\"}";
   return out;
 }
 
-std::string render_error(const std::string& id, const Error& err) {
+std::string render_error(const Envelope& env, const Error& err) {
   std::ostringstream os;
-  os << "{\"id\":\"" << util::json_escape(id) << "\",\"ok\":false,\"error\":{\"category\":\""
-     << util::json_escape(err.category) << "\",\"message\":\"" << util::json_escape(err.message)
-     << "\",\"retry_after_ms\":" << err.retry_after_ms << "}}";
+  os << envelope_prefix(env) << ",\"ok\":false" << shard_member(env)
+     << ",\"error\":{\"category\":\"" << util::json_escape(err.category)
+     << "\",\"message\":\"" << util::json_escape(err.message)
+     << "\",\"retry_after_ms\":" << err.retry_after_ms;
+  if (err.shard >= 0) os << ",\"shard\":" << err.shard;
+  os << "}}";
   return os.str();
 }
 
-std::string render_stats(const std::string& id, const std::string& stats_json) {
-  std::string out = "{\"id\":\"";
-  out += util::json_escape(id);
-  out += "\",\"ok\":true,\"type\":\"stats\",\"stats\":";
+std::string render_stats(const Envelope& env, const std::string& stats_json) {
+  std::string out = envelope_prefix(env);
+  out += ",\"ok\":true,\"type\":\"stats\"";
+  out += shard_member(env);
+  out += ",\"stats\":";
   out += stats_json;
   out += "}";
   return out;
 }
 
-std::string render_pong(const std::string& id) {
-  std::string out = "{\"id\":\"";
-  out += util::json_escape(id);
-  out += "\",\"ok\":true,\"type\":\"pong\"}";
+std::string render_pong(const Envelope& env) {
+  std::string out = envelope_prefix(env);
+  out += ",\"ok\":true,\"type\":\"pong\"";
+  out += shard_member(env);
+  out += "}";
   return out;
+}
+
+std::string render_hello_ok(const Envelope& env) {
+  std::string out = envelope_prefix(env);
+  out += ",\"ok\":true,\"type\":\"hello\"";
+  out += shard_member(env);
+  out += "}";
+  return out;
+}
+
+std::string render_response(const std::string& id, RequestType type,
+                            const std::string& payload) {
+  return render_response(Envelope{1, id, 0}, type, payload);
+}
+
+std::string render_error(const std::string& id, const Error& err) {
+  return render_error(Envelope{1, id, 0}, err);
+}
+
+std::string render_stats(const std::string& id, const std::string& stats_json) {
+  return render_stats(Envelope{1, id, 0}, stats_json);
+}
+
+std::string render_pong(const std::string& id) {
+  return render_pong(Envelope{1, id, 0});
+}
+
+bool parse_response(std::string_view line, ResponseView* out) {
+  const auto doc = util::parse_json(line);
+  if (!doc || !doc->is_object()) return false;
+  *out = ResponseView{};
+  if (const util::JsonValue* v = doc->find("v")) {
+    if (!v->is_number()) return false;
+    out->version = static_cast<int>(v->number);
+  }
+  const util::JsonValue* id = doc->find(out->version == 2 ? "req_id" : "id");
+  if (!id || !id->is_string()) return false;
+  out->id = id->string;
+  if (const util::JsonValue* shard = doc->find("shard")) {
+    if (!shard->is_number()) return false;
+    out->shard = static_cast<int>(shard->number);
+  }
+  const util::JsonValue* ok = doc->find("ok");
+  if (!ok || !ok->is_bool()) return false;
+  out->ok = ok->boolean;
+  if (!out->ok) {
+    const util::JsonValue* e = doc->find("error");
+    if (!e || !e->is_object()) return false;
+    const util::JsonValue* category = e->find("category");
+    const util::JsonValue* message = e->find("message");
+    if (!category || !category->is_string() || !message || !message->is_string()) return false;
+    out->error.category = category->string;
+    out->error.message = message->string;
+    if (const util::JsonValue* retry = e->find("retry_after_ms"))
+      out->error.retry_after_ms = retry->is_number() ? static_cast<int>(retry->number) : 0;
+    if (const util::JsonValue* hint = e->find("shard"))
+      out->error.shard = hint->is_number() ? static_cast<int>(hint->number) : -1;
+    return true;
+  }
+  const util::JsonValue* type = doc->find("type");
+  if (!type || !type->is_string()) return false;
+  out->type = type->string;
+  if (out->type == "stats") {
+    const util::JsonValue* stats = doc->find("stats");
+    if (!stats) return false;
+    out->stats = util::serialize_json(*stats);
+    return true;
+  }
+  if (const util::JsonValue* payload = doc->find("payload")) {
+    if (!payload->is_string()) return false;
+    out->payload = payload->string;
+  }
+  return true;
+}
+
+std::string render_view(const Envelope& env, const ResponseView& view) {
+  if (!view.ok) return render_error(env, view.error);
+  if (view.type == "stats") return render_stats(env, view.stats);
+  if (view.type == "pong") return render_pong(env);
+  if (view.type == "hello") return render_hello_ok(env);
+  RequestType type = RequestType::kPing;
+  if (view.type == "dense") type = RequestType::kDense;
+  else if (view.type == "sparse") type = RequestType::kSparse;
+  else if (view.type == "footprint") type = RequestType::kFootprint;
+  return render_response(env, type, view.payload);
 }
 
 }  // namespace opm::serve::protocol

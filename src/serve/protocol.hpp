@@ -10,14 +10,17 @@
 #include "util/fingerprint.hpp"
 
 /// The opm_serve wire protocol: newline-delimited JSON requests, one JSON
-/// response line per request.
+/// response line per request. Two envelope versions share one payload
+/// format.
 ///
-/// A request is a single line holding one JSON object. The three sweep
-/// types map 1:1 onto the canonical request structs of core/experiment.hpp
-/// — the service is a thin network front end over the exact same library
-/// calls the offline bench harnesses make, which is what makes the
-/// byte-identity guarantee checkable: for any request, the "payload" field
-/// of the response equals render_points_csv(<the offline sweep>) exactly.
+/// **v1 (bare)** — a request is a single line holding one JSON object;
+/// the optional echo token is named "id". The three sweep types map 1:1
+/// onto the canonical request structs of core/experiment.hpp — the
+/// service is a thin network front end over the exact same library calls
+/// the offline bench harnesses make, which is what makes the
+/// byte-identity guarantee checkable: for any request, the "payload"
+/// field of the response equals render_points_csv(<the offline sweep>)
+/// exactly.
 ///
 ///   {"type":"dense","id":"r1","platform":"broadwell-edram-on",
 ///    "kernel":"gemm","n_lo":256,"n_hi":4096,"n_step":512,
@@ -28,6 +31,23 @@
 ///   {"type":"stats","id":"s1"}
 ///   {"type":"ping","id":"p1"}
 ///
+/// **v2 (sharded tier)** — the same request object plus `"v":2`, with the
+/// echo token renamed `req_id` (a v2 request must not carry "id", and
+/// vice versa; `{"v":1,...}` is accepted as an explicit spelling of v1):
+///
+///   {"v":2,"req_id":"r1","type":"sparse","platform":"knl-flat",
+///    "kernel":"spmv"}
+///
+/// v2 responses echo `v` and `req_id` and carry the serving shard id, so
+/// a client talking to a router can always tell which backend answered:
+///
+///   {"v":2,"req_id":"r1","ok":true,"type":"sparse","shard":1,
+///    "payload":"x,y,gflops,..."}
+///
+/// The payload bytes are identical across versions — the envelope is the
+/// only difference, which is what lets v1 clients keep their goldens
+/// against a v2 sharded tier.
+///
 /// Parsing is strict: unknown request types, unknown fields, wrong field
 /// types, non-finite or out-of-range values, kernels that do not match the
 /// request type, and ids longer than 128 bytes are all rejected with a
@@ -35,28 +55,37 @@
 /// and default to the paper's appendix A.2 configuration (the same
 /// defaults the canonical structs carry).
 ///
-/// Responses (one line each):
+/// v1 responses (one line each, unchanged from the pre-v2 service):
 ///   {"id":"r1","ok":true,"type":"dense","payload":"x,y,gflops,..."}
 ///   {"id":"r1","ok":false,"error":{"category":"overload",
 ///    "message":"...","retry_after_ms":50}}
 ///
 /// Error categories: "parse" (not valid JSON), "bad-request" (valid JSON,
-/// invalid request), "oversized" (line exceeded the server limit; the
-/// connection is closed because framing is lost), "overload" and
-/// "draining" (admission control; retry_after_ms > 0), "internal" (the
-/// computation failed).
+/// invalid request), "unsupported-version" ("v" is neither 1 nor 2),
+/// "oversized" (line exceeded the server limit; the connection is closed
+/// because framing is lost), "auth" (listener requires a hello token; the
+/// connection is closed), "overload" and "draining" (admission control;
+/// retry_after_ms > 0), "redirect" (this shard does not own the request's
+/// key; the error object carries `"shard":N`, the owner under the
+/// server's ring view), "internal" (the computation failed).
 namespace opm::serve::protocol {
 
-enum class RequestType { kDense, kSparse, kFootprint, kStats, kPing };
+enum class RequestType { kDense, kSparse, kFootprint, kStats, kPing, kHello };
 
 const char* to_string(RequestType type);
+
+/// The canonical kernel selector names ("gemm", "spmv", ...); inverse of
+/// the request parser's kernel lookup.
+const char* kernel_name(core::KernelId id);
 
 /// A fully-validated request. Exactly one of the three sweep structs is
 /// meaningful, selected by `type`; `platform` is resolved from the
 /// selector string.
 struct Request {
   RequestType type = RequestType::kPing;
-  std::string id;             ///< client-chosen echo token (may be empty)
+  int version = 1;            ///< envelope version: 1 (bare) or 2
+  std::string id;             ///< client-chosen echo token ("id" / "req_id")
+  std::string token;          ///< hello only: the shared auth secret
   std::string platform_name;  ///< the selector as sent, e.g. "knl-flat"
   sim::Platform platform;     ///< resolved platform (sweep types only)
   core::DenseSweepRequest dense;
@@ -66,10 +95,25 @@ struct Request {
 
 /// A structured protocol error, rendered by render_error.
 struct Error {
-  std::string category;   ///< parse|bad-request|oversized|overload|draining|internal
+  std::string category;   ///< see the taxonomy above
   std::string message;
   int retry_after_ms = 0; ///< > 0 only for overload / draining
+  int shard = -1;         ///< redirect only: the owning shard id
 };
+
+/// The response-envelope identity of a request: which version to speak,
+/// which token to echo, and (v2) which shard is answering. Every render
+/// function takes one, so the dispatcher and the router produce
+/// byte-identical envelopes for the same client.
+struct Envelope {
+  int version = 1;
+  std::string id;
+  int shard = 0;  ///< v2 only: serving shard id (standalone servers are 0)
+};
+
+/// The envelope a response to `req` must carry. `shard` is the serving
+/// shard id (pass 0 for a standalone server).
+Envelope envelope_of(const Request& req, int shard = 0);
 
 /// The platform selectors the service accepts.
 ///   broadwell-edram-off  broadwell-edram-on
@@ -77,10 +121,17 @@ struct Error {
 /// Returns false (and leaves *out alone) for anything else.
 bool resolve_platform(std::string_view name, sim::Platform* out);
 
-/// Parses and validates one request line. On failure fills *err (category
-/// "parse" or "bad-request") and returns false; *out keeps whatever id was
-/// recovered so the error response can still echo it.
+/// Parses and validates one request line (either envelope version). On
+/// failure fills *err (category "parse", "bad-request", or
+/// "unsupported-version") and returns false; *out keeps whatever version
+/// and id were recovered so the error response can still echo them.
 bool parse_request(std::string_view line, Request* out, Error* err);
+
+/// Serializes a validated request back to one v2 wire line (the form the
+/// router forwards to shards). Doubles are rendered shortest-round-trip,
+/// so parse_request(render_request(r)) reconstructs bit-identical
+/// canonical structs — and therefore the same request_key.
+std::string render_request(const Request& req);
 
 /// The sparse suite every sparse request runs against (the paper's
 /// 968-matrix synthetic collection, built once per process).
@@ -101,11 +152,44 @@ std::string execute(const Request& req);
 /// as C99 hex floats (%a) so the text round-trips bit-exactly.
 std::string render_points_csv(const std::vector<core::SweepPoint>& points);
 
-/// Response envelopes (single lines, no trailing newline).
+/// Response lines (no trailing newline), versioned by the envelope. v1
+/// renders are byte-identical to the pre-v2 service.
+std::string render_response(const Envelope& env, RequestType type,
+                            const std::string& payload);
+std::string render_error(const Envelope& env, const Error& err);
+std::string render_stats(const Envelope& env, const std::string& stats_json);
+std::string render_pong(const Envelope& env);
+std::string render_hello_ok(const Envelope& env);
+
+/// v1 conveniences (the pre-v2 signatures, kept so offline harnesses and
+/// tests read naturally).
 std::string render_response(const std::string& id, RequestType type,
                             const std::string& payload);
 std::string render_error(const std::string& id, const Error& err);
 std::string render_stats(const std::string& id, const std::string& stats_json);
 std::string render_pong(const std::string& id);
+
+/// A parsed response line — what the router (and tests) need to re-render
+/// a backend response under the client's own envelope: because both sides
+/// share render_* and util::json_escape, parse-then-re-render is
+/// byte-stable and never touches the payload text.
+struct ResponseView {
+  int version = 1;
+  std::string id;
+  int shard = 0;        ///< v2 only
+  bool ok = false;
+  std::string type;     ///< "dense", "pong", "stats", ... (ok responses)
+  std::string payload;  ///< sweep responses
+  std::string stats;    ///< stats responses: the raw nested JSON object
+  Error error;          ///< when !ok
+};
+
+/// Parses one response line into a view. False when the line is not a
+/// well-formed response envelope (either version).
+bool parse_response(std::string_view line, ResponseView* out);
+
+/// Re-renders a parsed response under `env` (the client's envelope).
+/// Payload and error fields pass through byte-identically.
+std::string render_view(const Envelope& env, const ResponseView& view);
 
 }  // namespace opm::serve::protocol

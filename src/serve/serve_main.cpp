@@ -6,23 +6,31 @@
 #include <string>
 
 #include "core/sweep_config.hpp"
+#include "serve/options.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 
-/// opm_serve — the long-running sweep service.
+/// opm_serve — the long-running sweep service (one shard of the tier, or
+/// a standalone server).
 ///
-///   opm_serve [--socket=PATH] [--queue-depth=N] [--serve-workers=N]
-///             [--max-line-bytes=N] [--retry-after-ms=N] [--stdio]
-///             [--sweep-workers=N] [--cache-dir=PATH] [--no-cache]
-///             [--no-sweep-stats]
+///   opm_serve [--listen=ADDR] [--token=SECRET] [--quota=N]
+///             [--shard-id=N] [--shard-count=N] [--queue-depth=N]
+///             [--serve-workers=N] [--max-line-bytes=N]
+///             [--retry-after-ms=N] [--stdio]
+///             [--sweep-workers=N] [--cache-dir=PATH]
+///             [--cache-max-bytes=N] [--no-cache] [--no-sweep-stats]
 ///
-/// Listens on a Unix domain socket (default ./opm-serve.sock) for
-/// newline-delimited JSON sweep requests (see serve/protocol.hpp) and
-/// answers each with a payload byte-identical to the offline bench
-/// output for the same request. SIGTERM/SIGINT triggers a graceful
-/// drain: stop accepting, finish in-flight work, exit 0. With --stdio it
-/// instead serves stdin→stdout once and exits when stdin closes.
+/// Listens on a Unix domain socket (default ./opm-serve.sock) or a TCP
+/// address (--listen=HOST:PORT; port 0 binds an ephemeral port, printed
+/// in the startup line) for newline-delimited JSON sweep requests (v1 or
+/// v2 envelopes, see serve/protocol.hpp) and answers each with a payload
+/// byte-identical to the offline bench output for the same request. TCP
+/// listeners with --token require a hello handshake per connection.
+/// With --shard-count, requests this shard does not own are redirected.
+/// SIGTERM/SIGINT triggers a graceful drain: stop accepting, finish
+/// in-flight work, exit 0. With --stdio it instead serves stdin→stdout
+/// once and exits when stdin closes.
 ///
 /// The sweep knobs are the same defaults → environment → CLI resolution
 /// the bench harnesses use (core::resolve_sweep_config), so a server and
@@ -48,17 +56,10 @@ int main(int argc, char** argv) {
   core::apply_sweep_config(core::resolve_sweep_config(argc, argv));
 
   const util::Cli cli(argc, argv);
-  serve::ServerConfig config;
-  config.socket_path = cli.get("socket", "opm-serve.sock");
-  config.max_line_bytes =
-      static_cast<std::size_t>(cli.get_int("max-line-bytes", 256 * 1024));
-  config.dispatch.queue_depth = static_cast<std::size_t>(cli.get_int("queue-depth", 64));
-  config.dispatch.workers = static_cast<std::size_t>(cli.get_int("serve-workers", 2));
-  config.dispatch.retry_after_ms = static_cast<int>(cli.get_int("retry-after-ms", 50));
+  const serve::Options opt = serve::resolve_options(cli);
+  serve::Server server(serve::to_server_config(opt));
 
-  serve::Server server(config);
-
-  if (cli.has("stdio")) {
+  if (opt.stdio) {
     server.serve_stream(0, 1);
     return 0;
   }
@@ -75,7 +76,14 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
 
-  util::log_info("opm_serve listening on " + config.socket_path);
+  std::string where = opt.listen;
+  if (server.bound_port() >= 0) {
+    // Re-render with the actual port so HOST:0 callers can discover it.
+    const std::size_t colon = where.rfind(':');
+    where = where.substr(0, colon + 1) +
+            std::to_string(server.bound_port());  // opm-lint: allow(float-print) — integer port
+  }
+  util::log_info("opm_serve listening on " + where);
   server.wait();
   util::log_info("opm_serve drained cleanly");
   return 0;

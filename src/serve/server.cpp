@@ -1,8 +1,8 @@
 #include "serve/server.hpp"
 
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -13,85 +13,38 @@
 #include <thread>
 #include <vector>
 
+#include "serve/conn.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/mutex.hpp"
+#include "util/socket.hpp"
 
 namespace opm::serve {
 
-namespace {
-
-/// One response sink. Sockets write via send(MSG_NOSIGNAL); pipes/files
-/// via write() (the server also ignores SIGPIPE process-wide as a second
-/// line of defense, since tests drive serve_stream over pipes). The mutex
-/// serializes concurrent responses from different dispatcher workers and
-/// makes close-vs-write safe.
-struct Conn {
-  util::Mutex mutex;
-  int fd OPM_GUARDED_BY(mutex) = -1;
-  bool is_socket OPM_GUARDED_BY(mutex) = true;
-  bool owns_fd OPM_GUARDED_BY(mutex) = true;
-  bool open OPM_GUARDED_BY(mutex) = true;
-
-  /// Publishes the fd and its flavor; called once, before the Conn is
-  /// shared with any writer.
-  void init(int new_fd, bool socket, bool owns) OPM_EXCLUDES(mutex) {
-    util::MutexLock lock(mutex);
-    fd = new_fd;
-    is_socket = socket;
-    owns_fd = owns;
-  }
-
-  /// The fd a reader loop should consume (readers never race close_fd:
-  /// the reader itself is the closer).
-  int read_fd() OPM_EXCLUDES(mutex) {
-    util::MutexLock lock(mutex);
-    return fd;
-  }
-
-  void write_line(std::string line) OPM_EXCLUDES(mutex) {
-    line.push_back('\n');
-    util::MutexLock lock(mutex);
-    if (!open || fd < 0) return;  // client went away: drop the response
-    const char* p = line.data();
-    std::size_t left = line.size();
-    while (left > 0) {
-      const ssize_t n = is_socket ? ::send(fd, p, left, MSG_NOSIGNAL) : ::write(fd, p, left);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        open = false;  // broken pipe or similar; subsequent responses drop
-        return;
+struct Server::Impl {
+  explicit Impl(const ServerConfig& cfg) : config(cfg), dispatcher(cfg.dispatch) {
+    std::string error;
+    if (!config.listen_address.empty()) {
+      if (!util::parse_address(config.listen_address, &listen, &error)) {
+        listen_parse_error = error;
       }
-      p += n;
-      left -= static_cast<std::size_t>(n);
+    } else {
+      listen.kind = util::SocketAddress::Kind::kUnix;
+      listen.path = config.socket_path;
     }
   }
-
-  /// Wakes a reader blocked in read() and stops future writes. The fd is
-  /// closed by whoever owns the reader loop, after it exits.
-  void request_close() OPM_EXCLUDES(mutex) {
-    util::MutexLock lock(mutex);
-    open = false;
-    if (fd >= 0 && is_socket) ::shutdown(fd, SHUT_RDWR);
-  }
-
-  void close_fd() OPM_EXCLUDES(mutex) {
-    util::MutexLock lock(mutex);
-    open = false;
-    if (fd >= 0 && owns_fd) ::close(fd);
-    fd = -1;
-  }
-};
-
-}  // namespace
-
-struct Server::Impl {
-  explicit Impl(const ServerConfig& cfg) : config(cfg), dispatcher(cfg.dispatch) {}
 
   ServerConfig config;
   Dispatcher dispatcher;
 
+  util::SocketAddress listen;
+  std::string listen_parse_error;
+  /// TCP listeners with a configured token gate every connection behind
+  /// hello; unix/stdio are local trust.
+  bool auth_required = false;
+
   int listen_fd = -1;
+  int listen_port = -1;
   int pipe_r = -1;
   int pipe_w = -1;
   std::thread accept_thread;
@@ -103,51 +56,58 @@ struct Server::Impl {
   std::vector<std::thread> readers OPM_GUARDED_BY(conns_mutex);
   std::atomic<std::uint64_t> next_client{1};
 
+  protocol::Envelope error_envelope(const protocol::Request& req) const {
+    return protocol::envelope_of(req, config.dispatch.shard_id);
+  }
+
   /// Handles one complete request line for `client`, answering through
-  /// `conn`. Shared by the socket readers and serve_stream.
-  void handle_line(const std::string& line, std::uint64_t client,
-                   const std::shared_ptr<Conn>& conn) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) return;  // blank: ignore
+  /// `conn`. Shared by the socket readers and serve_stream. Returns false
+  /// when the connection must close (auth failure).
+  bool handle_line(const std::string& line, std::uint64_t client,
+                   const std::shared_ptr<Conn>& conn, bool gate_auth) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) return true;  // blank: ignore
     protocol::Request req;
     protocol::Error err;
     if (!protocol::parse_request(line, &req, &err)) {
       util::MetricsRegistry::instance().counter("serve.errors_protocol").add(1);
-      conn->write_line(protocol::render_error(req.id, err));
-      return;  // framing is intact; the connection stays open
+      conn->write_line(protocol::render_error(error_envelope(req), err));
+      return true;  // framing is intact; the connection stays open
+    }
+    if (req.type == protocol::RequestType::kHello) {
+      if (!gate_auth || req.token == config.auth_token) {
+        conn->set_authed(true);
+        conn->write_line(protocol::render_hello_ok(error_envelope(req)));
+        return true;
+      }
+      util::MetricsRegistry::instance().counter("serve.rejected_auth").add(1);
+      protocol::Error auth_err;
+      auth_err.category = "auth";
+      auth_err.message = "hello token does not match; closing connection";
+      conn->write_line(protocol::render_error(error_envelope(req), auth_err));
+      return false;
+    }
+    if (gate_auth && !conn->is_authed()) {
+      util::MetricsRegistry::instance().counter("serve.rejected_auth").add(1);
+      protocol::Error auth_err;
+      auth_err.category = "auth";
+      auth_err.message =
+          "this listener requires a {\"type\":\"hello\",\"token\":...} first; closing connection";
+      conn->write_line(protocol::render_error(error_envelope(req), auth_err));
+      return false;
     }
     dispatcher.submit(client, std::move(req),
                       [conn](std::string response) { conn->write_line(std::move(response)); });
+    return true;
   }
 
-  /// Reads `in_fd` until EOF/error, feeding complete lines to
-  /// handle_line. Returns false when the stream was cut off for an
-  /// oversized line.
-  bool read_loop(int in_fd, std::uint64_t client, const std::shared_ptr<Conn>& conn) {
-    std::string buf;
-    char chunk[4096];
-    for (;;) {
-      const ssize_t n = ::read(in_fd, chunk, sizeof chunk);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return true;
-      }
-      if (n == 0) return true;  // EOF
-      buf.append(chunk, static_cast<std::size_t>(n));
-      std::size_t pos;
-      while ((pos = buf.find('\n')) != std::string::npos) {
-        const std::string line = buf.substr(0, pos);
-        buf.erase(0, pos + 1);
-        if (line.size() > config.max_line_bytes) {
-          oversized(conn);
-          return false;
-        }
-        handle_line(line, client, conn);
-      }
-      if (buf.size() > config.max_line_bytes) {
-        oversized(conn);
-        return false;
-      }
-    }
+  /// Reads the conn until EOF/error, feeding complete lines to
+  /// handle_line.
+  void read_loop(int in_fd, std::uint64_t client, const std::shared_ptr<Conn>& conn,
+                 bool gate_auth) {
+    const bool intact = for_each_line(in_fd, config.max_line_bytes, [&](const std::string& line) {
+      return handle_line(line, client, conn, gate_auth);
+    });
+    if (!intact) oversized(conn);
   }
 
   void oversized(const std::shared_ptr<Conn>& conn) {
@@ -155,13 +115,28 @@ struct Server::Impl {
     protocol::Error err;
     err.category = "oversized";
     err.message = "request line exceeds " + std::to_string(config.max_line_bytes) +
-                  " bytes; closing connection";
+                  " bytes; closing connection";  // opm-lint: allow(float-print) — integer limit
     conn->write_line(protocol::render_error("", err));
   }
 
   void reader_main(std::shared_ptr<Conn> conn, std::uint64_t client) {
-    read_loop(conn->read_fd(), client, conn);
-    conn->close_fd();  // EOF, error, or oversized: this reader owns the fd
+    read_loop(conn->read_fd(), client, conn, auth_required);
+    conn->close_fd();  // EOF, error, auth failure, or oversized: this reader owns the fd
+  }
+
+  /// Dispatcher client identity for a freshly accepted connection: TCP
+  /// peers are keyed by source IPv4 address (quotas bound the peer, not
+  /// each socket); unix connections get a fresh id each.
+  std::uint64_t client_id_for(int cfd) {
+    if (listen.kind == util::SocketAddress::Kind::kTcp) {
+      sockaddr_in peer{};
+      socklen_t len = sizeof(peer);
+      if (::getpeername(cfd, reinterpret_cast<sockaddr*>(&peer), &len) == 0 &&
+          peer.sin_family == AF_INET) {
+        return (1ull << 32) | static_cast<std::uint64_t>(ntohl(peer.sin_addr.s_addr));
+      }
+    }
+    return next_client.fetch_add(1, std::memory_order_relaxed);
   }
 
   void accept_loop() {
@@ -179,7 +154,7 @@ struct Server::Impl {
       if (cfd < 0) continue;
       auto conn = std::make_shared<Conn>();
       conn->init(cfd, /*socket=*/true, /*owns=*/true);
-      const std::uint64_t client = next_client.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t client = client_id_for(cfd);
       util::MutexLock lock(conns_mutex);
       conns.push_back(conn);
       readers.emplace_back([this, conn, client] { reader_main(conn, client); });
@@ -201,6 +176,10 @@ Server::~Server() {
 
 bool Server::start(std::string* error) {
   ::signal(SIGPIPE, SIG_IGN);
+  if (!impl_->listen_parse_error.empty()) {
+    if (error) *error = impl_->listen_parse_error;
+    return false;
+  }
   int p[2];
   if (::pipe(p) != 0) {
     if (error) *error = std::string("pipe: ") + std::strerror(errno);
@@ -209,38 +188,18 @@ bool Server::start(std::string* error) {
   impl_->pipe_r = p[0];
   impl_->pipe_w = p[1];
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (impl_->config.socket_path.size() >= sizeof(addr.sun_path)) {
-    if (error) *error = "socket path too long: " + impl_->config.socket_path;
-    return false;
-  }
-  std::memcpy(addr.sun_path, impl_->config.socket_path.c_str(),
-              impl_->config.socket_path.size() + 1);
-
-  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (impl_->listen_fd < 0) {
-    if (error) *error = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  ::unlink(impl_->config.socket_path.c_str());  // stale file from a killed process
-  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error)
-      *error = "bind " + impl_->config.socket_path + ": " + std::strerror(errno);
-    ::close(impl_->listen_fd);
-    impl_->listen_fd = -1;
-    return false;
-  }
-  if (::listen(impl_->listen_fd, 64) != 0) {
-    if (error) *error = std::string("listen: ") + std::strerror(errno);
-    ::close(impl_->listen_fd);
-    impl_->listen_fd = -1;
-    return false;
+  impl_->listen_fd = util::listen_on(impl_->listen, error);
+  if (impl_->listen_fd < 0) return false;
+  if (impl_->listen.kind == util::SocketAddress::Kind::kTcp) {
+    impl_->listen_port = util::bound_port(impl_->listen_fd);
+    impl_->auth_required = !impl_->config.auth_token.empty();
   }
   impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
   impl_->started = true;
   return true;
 }
+
+int Server::bound_port() const { return impl_->listen_port; }
 
 int Server::drain_fd() const { return impl_->pipe_w; }
 
@@ -261,7 +220,8 @@ void Server::wait() {
   if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
   ::close(impl_->listen_fd);
   impl_->listen_fd = -1;
-  ::unlink(impl_->config.socket_path.c_str());
+  if (impl_->listen.kind == util::SocketAddress::Kind::kUnix)
+    ::unlink(impl_->listen.path.c_str());
   // 2. Finish admitted work. Connections are still live: clients that keep
   //    sending get structured "draining" rejections, and every response
   //    for queued/in-flight work is written before drain() returns.
@@ -285,7 +245,7 @@ void Server::serve_stream(int in_fd, int out_fd) {
   auto conn = std::make_shared<Conn>();
   conn->init(out_fd, /*socket=*/false, /*owns=*/false);
   const std::uint64_t client = impl_->next_client.fetch_add(1, std::memory_order_relaxed);
-  impl_->read_loop(in_fd, client, conn);
+  impl_->read_loop(in_fd, client, conn, /*gate_auth=*/false);
   // EOF: answer everything already admitted, then hand the stream back.
   impl_->dispatcher.drain();
 }

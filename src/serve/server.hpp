@@ -5,7 +5,7 @@
 
 #include "serve/dispatcher.hpp"
 
-/// Transport layer of the sweep service: a Unix-domain-socket listener
+/// Transport layer of the sweep service: a Unix-domain or TCP listener
 /// with newline framing, plus a single-stream mode (serve_stream) that
 /// drives the same line-handling path over any pair of file descriptors —
 /// that is what `opm_serve --stdio` and the pipe-based tests use.
@@ -19,6 +19,18 @@
 ///   * a client that disconnects mid-request is fine: its pending
 ///     responses are dropped on the floor, never written to a dead fd.
 ///
+/// TCP listeners ("HOST:PORT" in listen_address) add two policies the
+/// local Unix socket never needed:
+///   * shared-secret auth: when auth_token is non-empty, the first
+///     request on every TCP connection must be
+///     {"type":"hello","token":"<secret>"} — anything else (or a wrong
+///     token) gets an "auth" error and the connection is closed. Unix and
+///     --stdio streams are local trust and skip the check (hello still
+///     answers, so clients can probe either transport uniformly).
+///   * per-peer client identity: connections from the same IPv4 address
+///     share one dispatcher client id, so per-client quotas and fairness
+///     apply to the peer, not to each of its sockets.
+///
 /// Graceful drain (SIGTERM path): the signal handler writes one byte to
 /// drain_fd() (async-signal-safe). wait() then unblocks and runs the
 /// sequence — stop accepting, unlink the socket, drain the dispatcher
@@ -29,7 +41,11 @@
 namespace opm::serve {
 
 struct ServerConfig {
-  std::string socket_path = "opm-serve.sock";
+  /// Listener in util::parse_address grammar ("unix:PATH" or
+  /// "HOST:PORT"); when empty, socket_path is used as a unix path.
+  std::string listen_address;
+  std::string socket_path = "opm-serve.sock";  ///< pre-v2 spelling, unix only
+  std::string auth_token;  ///< TCP hello secret; empty = open listener
   std::size_t max_line_bytes = 256 * 1024;
   DispatchConfig dispatch;
 };
@@ -41,9 +57,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the socket (unlinking any stale file), starts the accept loop.
-  /// False + *error on failure (path too long, bind refused, ...).
+  /// Binds the listener (unlinking any stale unix file), starts the
+  /// accept loop. False + *error on failure (path too long, bind
+  /// refused, ...).
   bool start(std::string* error = nullptr);
+
+  /// The port a TCP listener actually bound (for "HOST:0" ephemeral
+  /// binds), or -1 for unix listeners / before start().
+  int bound_port() const;
 
   /// Write end of the self-pipe: write any byte to request a drain.
   /// Async-signal-safe by construction — this is what the SIGTERM handler
@@ -61,7 +82,8 @@ class Server {
   /// Serves one already-open stream: reads request lines from in_fd until
   /// EOF, writes response lines to out_fd, then drains the dispatcher so
   /// every admitted request is answered before returning. Does not close
-  /// either fd. Used by --stdio and by tests over pipes.
+  /// either fd. Used by --stdio and by tests over pipes. Local trust: no
+  /// auth gate.
   void serve_stream(int in_fd, int out_fd);
 
   const ServerConfig& config() const;

@@ -157,7 +157,8 @@ TEST(BenchSchema, RejectsNonObjectAndGarbage) {
 // schema version and re-serialize to the exact committed bytes.
 TEST(BenchSchema, CommittedBaselinesRoundTrip) {
   const std::vector<std::string> baselines = {
-      "BENCH_sweep.json", "BENCH_cache.json", "BENCH_serve.json", "BENCH_sim.json"};
+      "BENCH_sweep.json", "BENCH_cache.json", "BENCH_serve.json", "BENCH_sim.json",
+      "BENCH_router.json"};
   for (const std::string& name : baselines) {
     const std::string path = std::string(OPM_SOURCE_DIR) + "/" + name;
     std::string error;

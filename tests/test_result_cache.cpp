@@ -139,6 +139,97 @@ TEST_F(ResultCacheTest, LruEvictionBoundsTheMemoryTier) {
   EXPECT_GT(resident, 0u);
 }
 
+// ------------------------------------------------------------ disk pruning --
+
+TEST_F(ResultCacheTest, DiskBudgetEvictsOldestRecordsFirst) {
+  core::configure_result_cache(
+      {.enabled = true, .disk = true, .dir = dir_.string(), .max_entries = 4096});
+  auto& cache = core::ResultCache::instance();
+  for (std::uint64_t i = 1; i <= 3; ++i)
+    ASSERT_TRUE(cache.store(key_of(i), payload(16, double(i))));
+  const std::uintmax_t record_bytes = fs::file_size(record_path(key_of(1)));
+
+  // Pin an unambiguous age order: key 1 oldest, key 3 newest.
+  const auto now = fs::file_time_type::clock::now();
+  for (std::uint64_t i = 1; i <= 3; ++i)
+    fs::last_write_time(record_path(key_of(i)), now - std::chrono::hours(4 - i));
+
+  // Budget for three records; the fourth store must evict exactly the
+  // oldest (pruning runs inside store once max_disk_bytes > 0).
+  core::configure_result_cache({.enabled = true,
+                                .disk = true,
+                                .dir = dir_.string(),
+                                .max_entries = 4096,
+                                .max_disk_bytes = 3 * record_bytes + record_bytes / 2});
+  core::reset_result_cache_stats();
+  ASSERT_TRUE(cache.store(key_of(4), payload(16, 4.0)));
+
+  EXPECT_FALSE(fs::exists(record_path(key_of(1))));  // oldest went first
+  EXPECT_TRUE(fs::exists(record_path(key_of(2))));
+  EXPECT_TRUE(fs::exists(record_path(key_of(3))));
+  EXPECT_TRUE(fs::exists(record_path(key_of(4))));
+  const auto stats = core::result_cache_stats();
+  EXPECT_EQ(stats.evicted_budget, 1u);
+  EXPECT_GE(stats.evicted_bytes, record_bytes);
+}
+
+TEST_F(ResultCacheTest, DiskHitTouchesMtimeSoHotRecordsSurvivePruning) {
+  core::configure_result_cache(
+      {.enabled = true, .disk = true, .dir = dir_.string(), .max_entries = 4096});
+  auto& cache = core::ResultCache::instance();
+  ASSERT_TRUE(cache.store(key_of(1), payload(16, 1.0)));
+  ASSERT_TRUE(cache.store(key_of(2), payload(16, 2.0)));
+  const std::uintmax_t record_bytes = fs::file_size(record_path(key_of(1)));
+
+  // Make key 1 the older record, then hit it from disk: the hit must
+  // refresh its mtime, leaving key 2 as the eviction candidate.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(record_path(key_of(1)), now - std::chrono::hours(3));
+  fs::last_write_time(record_path(key_of(2)), now - std::chrono::hours(2));
+  cache.clear_memory();
+  core::CacheProbe probe;
+  ASSERT_TRUE(cache.find<double>(key_of(1), &probe).has_value());
+  EXPECT_STREQ(probe.source, "disk");
+
+  core::configure_result_cache({.enabled = true,
+                                .disk = true,
+                                .dir = dir_.string(),
+                                .max_entries = 4096,
+                                .max_disk_bytes = 2 * record_bytes + record_bytes / 2});
+  ASSERT_TRUE(cache.store(key_of(3), payload(16, 3.0)));
+
+  EXPECT_TRUE(fs::exists(record_path(key_of(1))));   // hot: mtime was touched
+  EXPECT_FALSE(fs::exists(record_path(key_of(2))));  // cold: evicted
+  EXPECT_TRUE(fs::exists(record_path(key_of(3))));
+}
+
+TEST_F(ResultCacheTest, PruningReapsStaleTmpFilesButSparesFreshOnes) {
+  core::configure_result_cache(
+      {.enabled = true, .disk = true, .dir = dir_.string(), .max_entries = 4096});
+  auto& cache = core::ResultCache::instance();
+  ASSERT_TRUE(cache.store(key_of(1), payload(16, 1.0)));
+
+  // A crashed writer's scratch file (old) and an in-flight one (fresh).
+  const fs::path stale = dir_ / ".tmp-deadbeef-0";
+  const fs::path fresh = dir_ / ".tmp-cafef00d-1";
+  std::ofstream(stale) << "partial";
+  std::ofstream(fresh) << "partial";
+  fs::last_write_time(stale,
+                      fs::file_time_type::clock::now() - std::chrono::minutes(30));
+
+  core::configure_result_cache({.enabled = true,
+                                .disk = true,
+                                .dir = dir_.string(),
+                                .max_entries = 4096,
+                                .max_disk_bytes = 1 << 20});
+  core::reset_result_cache_stats();
+  ASSERT_TRUE(cache.store(key_of(2), payload(16, 2.0)));
+
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_EQ(core::result_cache_stats().evicted_orphan, 1u);
+}
+
 // -------------------------------------------------------------- sensitivity --
 
 TEST_F(ResultCacheTest, DenseKeyIsSensitiveToEveryField) {

@@ -28,6 +28,7 @@
 #include "serve/server.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/socket.hpp"
 
 namespace {
 
@@ -203,6 +204,51 @@ TEST(Protocol, ResponseEnvelopeRoundTrips) {
   EXPECT_EQ(edoc->find("error")->find("category")->string, "overload");
   EXPECT_EQ(edoc->find("error")->find("message")->string, "queue \"full\"");
   EXPECT_DOUBLE_EQ(edoc->find("error")->find("retry_after_ms")->number, 50.0);
+}
+
+TEST(Protocol, V2EnvelopeParsesAndRejectsCrossVersionSpellings) {
+  // A v2 request: "v":2 plus "req_id"; everything else is unchanged.
+  Request req;
+  Error err;
+  ASSERT_TRUE(serve::protocol::parse_request(
+      R"({"v":2,"req_id":"r9","type":"ping"})", &req, &err))
+      << err.message;
+  EXPECT_EQ(req.version, 2);
+  EXPECT_EQ(req.id, "r9");
+
+  // An omitted "v" means v1; "v":1 is the explicit spelling of the same.
+  ASSERT_TRUE(serve::protocol::parse_request(R"({"v":1,"id":"r1","type":"ping"})", &req, &err))
+      << err.message;
+  EXPECT_EQ(req.version, 1);
+
+  // The id spelling is tied to the version — mixing them is an error, so
+  // a client cannot accidentally speak half of each protocol.
+  EXPECT_FALSE(serve::protocol::parse_request(
+      R"({"v":2,"id":"r2","type":"ping"})", &req, &err));
+  EXPECT_EQ(err.category, "bad-request");
+  EXPECT_FALSE(serve::protocol::parse_request(R"({"req_id":"r3","type":"ping"})", &req, &err));
+  EXPECT_EQ(err.category, "bad-request");
+
+  // Unknown versions get the dedicated category (so clients can
+  // distinguish "talk older" from "your request is broken"), and the
+  // error still echoes the recoverable envelope.
+  EXPECT_FALSE(serve::protocol::parse_request(
+      R"({"v":3,"req_id":"r4","type":"ping"})", &req, &err));
+  EXPECT_EQ(err.category, "unsupported-version");
+  EXPECT_FALSE(serve::protocol::parse_request(R"({"v":true,"type":"ping"})", &req, &err));
+  EXPECT_EQ(err.category, "bad-request");  // not an integer at all
+}
+
+TEST(Protocol, V2SweepRequestKeyMatchesV1Twin) {
+  // Version and id are envelope, not content: a v1 and a v2 client asking
+  // the same question share one coalescing key (and thus one flight).
+  Request v1, v2;
+  Error err;
+  ASSERT_TRUE(serve::protocol::parse_request(
+      R"({"id":"a","type":"sparse","platform":"knl-flat"})", &v1, &err));
+  ASSERT_TRUE(serve::protocol::parse_request(
+      R"({"v":2,"req_id":"b","type":"sparse","platform":"knl-flat"})", &v2, &err));
+  EXPECT_EQ(serve::protocol::request_key(v1), serve::protocol::request_key(v2));
 }
 
 // ----------------------------------------------------------- single-flight --
@@ -562,6 +608,76 @@ TEST_F(ServeTest, ServerAnswersOverUnixSocket) {
   EXPECT_GE(stats->find("stats")->find("serve")->find("serve.responses")->number, 1.0);
 
   client.close_conn();
+  server.request_drain();
+  server.wait();
+}
+
+TEST_F(ServeTest, TcpListenerGatesConnectionsBehindHelloToken) {
+  serve::ServerConfig sc;
+  sc.listen_address = "127.0.0.1:0";  // ephemeral port, read back below
+  sc.auth_token = "sekrit";
+  serve::Server server(sc);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.bound_port(), 0);
+  const std::string address = "127.0.0.1:" + std::to_string(server.bound_port());
+
+  auto tcp_connect = [&](TestClient* client) {
+    util::SocketAddress addr;
+    std::string perr;
+    ASSERT_TRUE(util::parse_address(address, &addr, &perr)) << perr;
+    client->fd = util::connect_to(addr, &perr);
+    ASSERT_GE(client->fd, 0) << perr;
+  };
+
+  // A request before hello: structured auth error, then the server hangs
+  // up (an unauthenticated peer gets exactly one line of attention).
+  {
+    TestClient client;
+    tcp_connect(&client);
+    ASSERT_TRUE(client.send_line(R"({"id":"sneak","type":"ping"})"));
+    std::string response;
+    ASSERT_TRUE(client.recv_line(&response));
+    const auto doc = util::parse_json(response);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("error")->find("category")->string, "auth");
+    EXPECT_TRUE(client.wait_eof());
+  }
+
+  // A wrong token is the same story.
+  {
+    TestClient client;
+    tcp_connect(&client);
+    ASSERT_TRUE(client.send_line(R"({"v":2,"req_id":"h","type":"hello","token":"wrong"})"));
+    std::string response;
+    ASSERT_TRUE(client.recv_line(&response));
+    EXPECT_NE(response.find("\"auth\""), std::string::npos);
+    EXPECT_TRUE(client.wait_eof());
+  }
+
+  // The right token unlocks the connection for real work.
+  {
+    TestClient client;
+    tcp_connect(&client);
+    ASSERT_TRUE(client.send_line(R"({"v":2,"req_id":"h","type":"hello","token":"sekrit"})"));
+    std::string response;
+    ASSERT_TRUE(client.recv_line(&response));
+    const auto hello = util::parse_json(response);
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_TRUE(hello->find("ok")->boolean) << response;
+
+    const std::string line =
+        R"({"v":2,"req_id":"q","type":"footprint","platform":"knl-ddr","kernel":"stream",)"
+        R"("fp_lo":16384,"fp_hi":262144,"points":6})";
+    ASSERT_TRUE(client.send_line(line));
+    ASSERT_TRUE(client.recv_line(&response));
+    const auto doc = util::parse_json(response);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->find("ok")->boolean) << response;
+    EXPECT_EQ(doc->find("payload")->string, serve::protocol::execute(parse_ok(line)));
+  }
+
+  EXPECT_GE(util::MetricsRegistry::instance().counter("serve.rejected_auth").value(), 2u);
   server.request_drain();
   server.wait();
 }
