@@ -2,7 +2,7 @@
 # Static-analysis + sanitizer + cache + serve + perf CI for the tier-1
 # test suite.
 #
-#   ./scripts/ci.sh [static|thread|address|undefined|cache|serve|perf|all]
+#   ./scripts/ci.sh [static|thread|address|undefined|cache|serve|advise|perf|all]
 #   (default: all)
 #
 # The static job runs FIRST and needs no test execution: it builds only the
@@ -37,6 +37,13 @@
 # tier: two token-gated opm_serve shards on loopback TCP behind an
 # opm_router, a zipf v2 load driven through the router (byte-identity
 # gate vs the offline library), and a SIGTERM drain of the whole mesh.
+#
+# The advise job gates the tuning advisor (src/advise): the
+# advise_accuracy harness must report >= 7/8 recommendations per paper
+# platform confirmed-or-marginal by the measured sweeps, and the served
+# {"type":"advise"} payload from a live 2-shard router must be
+# byte-identical to the offline `opm_advise --json` output for the same
+# question — the same byte-identity contract the sweep types carry.
 #
 # The perf job is the statistical perf contract (docs/MODEL.md §12): it
 # builds Release, runs every bench harness in --quick mode (sampled
@@ -246,13 +253,96 @@ run_serve() {
   echo "   mesh drained: router + 2 shards all exit 0"
 }
 
+run_advise() {
+  local dir="build-advise"
+  echo "== [advise] configure & build ($dir)"
+  cmake -B "$root/$dir" -G Ninja -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$root/$dir" --target advise_accuracy opm_advise_cli opm_serve opm_router
+  local scratch="$root/$dir/advise-ci-scratch"
+  rm -rf "$scratch" "$scratch-cli"
+  echo "== [advise] accuracy gate (>= 7/8 confirmed-or-marginal per platform)"
+  (cd "$root/$dir" && ./bench/advise_accuracy --quick --cache-dir="$scratch" \
+      --no-sweep-stats --out="$root/$dir/BENCH_advise.json")
+
+  echo "== [advise] e2e: served payload vs offline --json (2 shards + router)"
+  local token="ci-advise-token"
+  local -a shard_pids=() shard_ports=()
+  local i log port
+  for i in 0 1; do
+    log="$root/$dir/advise-shard$i.log"
+    "$root/$dir/serve/opm_serve" --listen=127.0.0.1:0 --token="$token" \
+        --shard-id="$i" --shard-count=2 --cache-dir="$scratch" \
+        --no-sweep-stats > "$log" 2>&1 &
+    shard_pids+=($!)
+    for _ in $(seq 1 100); do
+      grep -q 'listening on' "$log" && break
+      sleep 0.1
+    done
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+    if [ -z "$port" ]; then
+      echo "ci: FAIL — advise shard $i never reported its port (see $log)" >&2
+      exit 1
+    fi
+    shard_ports+=("$port")
+    echo "   shard $i on 127.0.0.1:$port"
+  done
+  local router_log="$root/$dir/advise-router.log"
+  "$root/$dir/serve/opm_router" --listen=127.0.0.1:0 --token="$token" \
+      --shards="127.0.0.1:${shard_ports[0]},127.0.0.1:${shard_ports[1]}" \
+      > "$router_log" 2>&1 &
+  local router_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q 'listening on' "$router_log" && break
+    sleep 0.1
+  done
+  local router_port
+  router_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$router_log" | head -1)"
+  if [ -z "$router_port" ]; then
+    echo "ci: FAIL — opm_router never reported its port (see $router_log)" >&2
+    exit 1
+  fi
+  echo "   router on 127.0.0.1:$router_port -> shards ${shard_ports[*]}"
+  local kernel
+  for kernel in spmv gemm stream; do
+    "$root/$dir/tools/opm_advise" --kernel "$kernel" --platform knl-ddr --json \
+        --cache-dir="$scratch-cli" --no-sweep-stats \
+        > "$root/$dir/advise-$kernel-offline.json"
+    "$root/$dir/tools/opm_advise" --kernel "$kernel" --platform knl-ddr \
+        --connect="127.0.0.1:$router_port" --token="$token" \
+        > "$root/$dir/advise-$kernel-served.json"
+    if ! cmp "$root/$dir/advise-$kernel-offline.json" \
+             "$root/$dir/advise-$kernel-served.json"; then
+      echo "ci: FAIL — served advise payload differs from offline --json ($kernel)" >&2
+      exit 1
+    fi
+    echo "   $kernel: served == offline (byte-identical)"
+  done
+  echo "== [advise] SIGTERM drains the mesh (router first, then shards)"
+  local rc=0
+  kill -TERM "$router_pid"; wait "$router_pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "ci: FAIL — opm_router exited $rc after SIGTERM (want 0)" >&2
+    exit 1
+  fi
+  for i in 0 1; do
+    rc=0
+    kill -TERM "${shard_pids[$i]}"; wait "${shard_pids[$i]}" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+      echo "ci: FAIL — advise shard $i exited $rc after SIGTERM (want 0)" >&2
+      exit 1
+    fi
+  done
+  echo "   mesh drained: router + 2 shards all exit 0"
+}
+
 run_perf() {
   local dir="build-perf"
   echo "== [perf] configure & build Release ($dir)"
   cmake -B "$root/$dir" -G Ninja -S "$root" \
         -DCMAKE_BUILD_TYPE=Release > /dev/null
   cmake --build "$root/$dir" --target sim_hotpath sweep_engine cache_effectiveness \
-        serve_loadgen micro_bench opm_benchdiff
+        serve_loadgen advise_accuracy micro_bench opm_benchdiff
   local scratch="$root/$dir/perf-cache-scratch"
   rm -rf "$scratch"
 
@@ -270,6 +360,8 @@ run_perf() {
   # way.
   (cd "$root/$dir" && ./bench/serve_loadgen --router-bench --quick \
       --rb-out="$root/$dir/BENCH_router.json")
+  "$root/$dir/bench/advise_accuracy" --quick --cache-dir="$scratch-advise" \
+      --no-sweep-stats --out="$root/$dir/BENCH_advise.json"
 
   echo "== [perf] trajectory diff vs committed baselines (CV-aware tolerance)"
   # The CI container is a single shared hardware thread: measured
@@ -280,7 +372,7 @@ run_perf() {
   # clears both. Tighten on dedicated hardware.
   local tolerance=(--k=4 --rel-floor=0.30)
   local bench
-  for bench in sim sweep cache serve router; do
+  for bench in sim sweep cache serve router advise; do
     echo "-- opm_benchdiff BENCH_$bench.json"
     "$root/$dir/tools/opm_benchdiff" "${tolerance[@]}" "$root/BENCH_$bench.json" \
         "$root/$dir/BENCH_$bench.json"
@@ -299,6 +391,7 @@ case "$mode" in
   undefined) run_job undefined run_one undefined build-ubsan ;;
   cache)     run_job cache run_cache ;;
   serve)     run_job serve run_serve ;;
+  advise)    run_job advise run_advise ;;
   perf)      run_job perf run_perf ;;
   all)       run_job static run_static
              run_job thread run_one thread build-tsan
@@ -306,8 +399,9 @@ case "$mode" in
              run_job undefined run_one undefined build-ubsan
              run_job cache run_cache
              run_job serve run_serve
+             run_job advise run_advise
              run_job perf run_perf ;;
-  *) echo "usage: $0 [static|thread|address|undefined|cache|serve|perf|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [static|thread|address|undefined|cache|serve|advise|perf|all]" >&2; exit 2 ;;
 esac
 
 echo "ci: suite(s) green"

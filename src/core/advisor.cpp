@@ -4,7 +4,7 @@
 
 namespace opm::core {
 
-McdramRecommendation advise_mcdram(const sim::Platform& knl_flat, const AppProfile& app) {
+McdramRecommendation advise_mcdram(const sim::Platform& knl_flat, const AppProfile& in) {
   McdramRecommendation rec;
   double mcdram_capacity = 0.0;
   for (const auto& dev : knl_flat.devices)
@@ -15,28 +15,46 @@ McdramRecommendation advise_mcdram(const sim::Platform& knl_flat, const AppProfi
   if (mcdram_capacity <= 0.0) mcdram_capacity = 16.0 * 1024 * 1024 * 1024.0;
   const double hybrid_cache = mcdram_capacity / 2.0;
 
+  // Clamp malformed profiles so a rule always fires instead of the rules
+  // silently reasoning about an impossible hot set.
+  AppProfile app = in;
+  std::string warning;
+  if (app.footprint_bytes <= 0.0) {
+    app.footprint_bytes = 0.0;
+    app.hot_set_bytes = 0.0;
+    warning = " [warning: non-positive footprint; treated as zero, which trivially "
+              "fits MCDRAM]";
+  } else if (app.hot_set_bytes > app.footprint_bytes) {
+    app.hot_set_bytes = app.footprint_bytes;
+    warning = " [warning: hot set exceeded footprint; clamped hot set to footprint]";
+  }
+  const auto with_warning = [&](McdramRecommendation r) {
+    r.reason += warning;
+    return r;
+  };
+
   if (app.footprint_bytes <= mcdram_capacity) {
     rec.mode = sim::McdramMode::kFlat;
     rec.reason = "data fits MCDRAM: flat mode is all hits with no tag-check overhead "
                  "(guideline II)";
-    return rec;
+    return with_warning(rec);
   }
   if (app.latency_bound) {
     rec.mode = sim::McdramMode::kOff;
     rec.reason = "latency-bound beyond MCDRAM capacity: MCDRAM's access latency exceeds "
                  "DDR's, so DDR wins (section 4.2.2)";
-    return rec;
+    return with_warning(rec);
   }
   if (app.hot_set_bytes <= hybrid_cache) {
     rec.mode = sim::McdramMode::kHybrid;
     rec.reason = "data exceeds MCDRAM but the hot set fits the hybrid cache half: hybrid "
                  "beats both flat and cache (guideline III)";
-    return rec;
+    return with_warning(rec);
   }
   rec.mode = sim::McdramMode::kCache;
   rec.reason = "data exceeds MCDRAM and the hot set exceeds the hybrid cache half: the "
                "hardware-managed cache tracks the moving hotspot (guideline IV)";
-  return rec;
+  return with_warning(rec);
 }
 
 EdramRecommendation advise_edram(const sim::Platform& broadwell_on, const AppProfile& app) {

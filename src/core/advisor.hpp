@@ -34,6 +34,9 @@ struct McdramRecommendation {
 ///   - data larger than MCDRAM with a big hot set -> cache;
 ///   - latency-bound with data beyond MCDRAM -> DDR can win (MCDRAM's
 ///     access latency exceeds DDR's).
+/// Malformed profiles are clamped rather than silently misrouted: a
+/// non-positive footprint is treated as zero and a hot set larger than the
+/// footprint is clamped to it, with a warning appended to `reason`.
 McdramRecommendation advise_mcdram(const sim::Platform& knl_flat, const AppProfile& app);
 
 /// eDRAM recommendation per the Section 6 eDRAM discussion.

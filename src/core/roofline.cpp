@@ -5,7 +5,45 @@
 namespace opm::core {
 
 double roofline_attainable(double ai, double peak_flops, double bandwidth) {
+  // Degenerate roofs clamp to zero: a machine with no compute peak or no
+  // memory bandwidth attains nothing, and a non-positive intensity carries
+  // no flops to attain.
+  if (ai <= 0.0 || peak_flops <= 0.0 || bandwidth <= 0.0) return 0.0;
   return std::min(peak_flops, ai * bandwidth);
+}
+
+MeasuredPlacement place_measured(const RooflineFigure& figure, const std::string& kernel,
+                                 double flops, double measured_bytes) {
+  MeasuredPlacement out;
+  out.kernel = kernel;
+  out.flops = std::max(flops, 0.0);
+  out.measured_bytes = std::max(measured_bytes, 0.0);
+  if (out.measured_bytes > 0.0 && out.flops > 0.0) {
+    out.intensity = out.flops / out.measured_bytes;
+  } else {
+    // No measured traffic (or no flops): the kernel never leaves the core
+    // caches, so no memory roof constrains it. Leave intensity at zero and
+    // classify as compute-bound under both roofs.
+    out.intensity = 0.0;
+  }
+  const double opm_bw =
+      figure.opm_bandwidth > 0.0 ? figure.opm_bandwidth : figure.ddr_bandwidth;
+  if (out.intensity > 0.0) {
+    out.opm_attainable_gflops =
+        roofline_attainable(out.intensity, figure.dp_peak_flops, opm_bw) / 1e9;
+    out.ddr_attainable_gflops =
+        roofline_attainable(out.intensity, figure.dp_peak_flops, figure.ddr_bandwidth) / 1e9;
+    out.memory_bound_opm =
+        opm_bw > 0.0 && out.intensity < figure.dp_peak_flops / opm_bw;
+    out.memory_bound_ddr = figure.ddr_bandwidth > 0.0 &&
+                           out.intensity < figure.dp_peak_flops / figure.ddr_bandwidth;
+  } else {
+    out.opm_attainable_gflops = std::max(figure.dp_peak_flops, 0.0) / 1e9;
+    out.ddr_attainable_gflops = out.opm_attainable_gflops;
+    out.memory_bound_opm = false;
+    out.memory_bound_ddr = false;
+  }
+  return out;
 }
 
 double RooflineFigure::ridge_point_opm() const {

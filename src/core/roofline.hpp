@@ -12,6 +12,9 @@ namespace opm::core {
 
 /// Attainable performance at arithmetic intensity `ai` (flop/byte) under a
 /// compute ceiling `peak_flops` and memory ceiling `bandwidth` (bytes/s).
+/// Guard rails: non-positive intensity, peak, or bandwidth clamp to zero —
+/// a degenerate roof yields zero attainable flops, never a negative or
+/// unbounded value.
 double roofline_attainable(double ai, double peak_flops, double bandwidth);
 
 /// One kernel placed on a platform's roofline.
@@ -42,6 +45,29 @@ struct RooflineFigure {
 /// configuration (eDRAM on / any MCDRAM mode); the DDR ceiling comes from
 /// its DDR device.
 RooflineFigure build_roofline(const sim::Platform& platform);
+
+/// One kernel placed on the roofline from *measured* traffic rather than
+/// the static Table 2 byte formulas: `measured_bytes` is what the cache
+/// simulator actually saw leave for memory, so the intensity reflects
+/// reuse the caches captured.
+struct MeasuredPlacement {
+  std::string kernel;
+  double flops = 0.0;           ///< useful flops of the measured run
+  double measured_bytes = 0.0;  ///< bytes that reached the backing devices
+  double intensity = 0.0;       ///< flops / measured_bytes (0 when no traffic)
+  double opm_attainable_gflops = 0.0;
+  double ddr_attainable_gflops = 0.0;
+  bool memory_bound_opm = false;  ///< intensity below the OPM ridge point
+  bool memory_bound_ddr = false;  ///< intensity below the DDR ridge point
+};
+
+/// Places measured traffic on a platform's roofline. Guard rails: zero
+/// measured bytes means the run never hit memory — intensity stays 0, the
+/// kernel classifies compute-bound, and the attainable ceilings are the
+/// compute peak; degenerate (zero-bandwidth / zero-peak) figures yield
+/// zero attainable flops and a not-memory-bound classification.
+MeasuredPlacement place_measured(const RooflineFigure& figure, const std::string& kernel,
+                                 double flops, double measured_bytes);
 
 /// One memory roof of the cache-aware roofline (CARM) extension: every
 /// hierarchy level contributes a diagonal, not just OPM and DDR.

@@ -8,7 +8,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "advise/advise.hpp"
+#include "core/result_cache.hpp"
 #include "core/single_flight.hpp"
+#include "core/sweep.hpp"
 #include "serve/router.hpp"
 #include "util/metrics.hpp"
 #include "util/mutex.hpp"
@@ -38,7 +41,8 @@ struct Dispatcher::Impl {
         rejected_quota(util::MetricsRegistry::instance().counter("serve.rejected_quota")),
         rejected_draining(util::MetricsRegistry::instance().counter("serve.rejected_draining")),
         rejected_redirect(util::MetricsRegistry::instance().counter("serve.rejected_redirect")),
-        errors_internal(util::MetricsRegistry::instance().counter("serve.errors_internal")) {
+        errors_internal(util::MetricsRegistry::instance().counter("serve.errors_internal")),
+        config_applied(util::MetricsRegistry::instance().counter("serve.config_applied")) {
     if (cfg.shard_count > 0) ring = HashRing(cfg.shard_count);
   }
 
@@ -60,6 +64,7 @@ struct Dispatcher::Impl {
   util::Counter& rejected_draining;
   util::Counter& rejected_redirect;
   util::Counter& errors_internal;
+  util::Counter& config_applied;
 
   mutable util::Mutex mutex;
   util::CondVar work_cv;     // workers: queued work is available
@@ -87,6 +92,61 @@ struct Dispatcher::Impl {
 
   protocol::Envelope envelope(const protocol::Request& req) const {
     return protocol::envelope_of(req, config.shard_id);
+  }
+
+  /// Hot-reloads the sweep knobs a "config" request carries. Answered
+  /// inline (never queued) so a saturated or draining server still accepts
+  /// reconfiguration — with one exception: resizing the sweep worker pool
+  /// is not safe concurrent with running sweeps, so that knob is refused
+  /// (retryably) while anything is queued or in flight.
+  void handle_config(const protocol::Request& req, const Respond& respond) {
+    const protocol::Envelope env = envelope(req);
+    const protocol::ConfigRequest& c = req.config;
+    if (c.has_sweep_workers) {
+      bool busy = false;
+      {
+        util::MutexLock lock(mutex);
+        busy = queued_count != 0 || in_flight_count != 0;
+        // Still under the mutex: submit() must take it to enqueue, so no
+        // sweep can start while the pool is being rebuilt.
+        if (!busy) core::set_sweep_workers(static_cast<std::size_t>(c.sweep_workers));
+      }
+      if (busy) {
+        answer(respond,
+               protocol::render_error(
+                   env, rejection("overload",
+                                  "cannot resize sweep workers while requests are queued "
+                                  "or in flight; retry later",
+                                  config.retry_after_ms)));
+        return;
+      }
+    }
+    if (c.has_cache_enabled) {
+      core::CacheConfig cc = core::result_cache_config();
+      cc.enabled = c.cache_enabled;
+      core::configure_result_cache(cc);
+    }
+    if (c.has_advise_verify) advise::set_verify_enabled(c.advise_verify);
+    config_applied.add(1);
+    std::string payload = "{\"applied\":{";
+    const char* sep = "";
+    if (c.has_sweep_workers) {
+      payload += "\"sweep_workers\":" + std::to_string(c.sweep_workers);
+      sep = ",";
+    }
+    if (c.has_cache_enabled) {
+      payload += sep;
+      payload += "\"cache_enabled\":";
+      payload += c.cache_enabled ? "true" : "false";
+      sep = ",";
+    }
+    if (c.has_advise_verify) {
+      payload += sep;
+      payload += "\"advise_verify\":";
+      payload += c.advise_verify ? "true" : "false";
+    }
+    payload += "}}";
+    answer(respond, protocol::render_response(env, req.type, payload));
   }
 
   void process(Item item) {
@@ -185,6 +245,10 @@ void Dispatcher::submit(std::uint64_t client, protocol::Request req, Respond res
     impl_->answer(respond, protocol::render_hello_ok(env));
     return;
   }
+  if (req.type == protocol::RequestType::kConfig) {
+    impl_->handle_config(req, respond);
+    return;
+  }
 
   // Ownership check (sharded tier only): a sweep this shard does not own
   // is redirected, never computed — computing it would pollute this
@@ -270,7 +334,8 @@ std::string Dispatcher::stats_json() const {
   std::ostringstream os;
   os << "{\"queued\":" << queued << ",\"in_flight\":" << in_flight
      << ",\"serve\":" << reg.json("serve.") << ",\"cache\":" << reg.json("cache.")
-     << ",\"sweep\":" << reg.json("sweep.") << ",\"sim\":" << reg.json("sim.") << "}";
+     << ",\"sweep\":" << reg.json("sweep.") << ",\"sim\":" << reg.json("sim.")
+     << ",\"advise\":" << reg.json("advise.") << "}";
   return os.str();
 }
 

@@ -42,18 +42,8 @@ std::string shortest(std::uint64_t v) {
 }
 
 bool parse_kernel(const std::string& name, core::KernelId* out) {
-  static const std::pair<const char*, core::KernelId> table[] = {
-      {"gemm", core::KernelId::kGemm},       {"cholesky", core::KernelId::kCholesky},
-      {"spmv", core::KernelId::kSpmv},       {"sptrans", core::KernelId::kSptrans},
-      {"sptrsv", core::KernelId::kSptrsv},   {"fft", core::KernelId::kFft},
-      {"stencil", core::KernelId::kStencil}, {"stream", core::KernelId::kStream},
-  };
-  for (const auto& [n, id] : table)
-    if (name == n) {
-      *out = id;
-      return true;
-    }
-  return false;
+  // One grammar for the whole stack: the advisor owns the kernel tokens.
+  return advise::parse_kernel_token(name, out);
 }
 
 bool bad(Error* err, std::string message) {
@@ -104,6 +94,8 @@ const char* to_string(RequestType type) {
     case RequestType::kDense: return "dense";
     case RequestType::kSparse: return "sparse";
     case RequestType::kFootprint: return "footprint";
+    case RequestType::kAdvise: return "advise";
+    case RequestType::kConfig: return "config";
     case RequestType::kStats: return "stats";
     case RequestType::kPing: return "ping";
     case RequestType::kHello: return "hello";
@@ -111,19 +103,7 @@ const char* to_string(RequestType type) {
   return "?";
 }
 
-const char* kernel_name(core::KernelId id) {
-  switch (id) {
-    case core::KernelId::kGemm: return "gemm";
-    case core::KernelId::kCholesky: return "cholesky";
-    case core::KernelId::kSpmv: return "spmv";
-    case core::KernelId::kSptrans: return "sptrans";
-    case core::KernelId::kSptrsv: return "sptrsv";
-    case core::KernelId::kFft: return "fft";
-    case core::KernelId::kStencil: return "stencil";
-    case core::KernelId::kStream: return "stream";
-  }
-  return "?";
-}
+const char* kernel_name(core::KernelId id) { return advise::kernel_token(id); }
 
 Envelope envelope_of(const Request& req, int shard) {
   Envelope env;
@@ -134,30 +114,32 @@ Envelope envelope_of(const Request& req, int shard) {
 }
 
 bool resolve_platform(std::string_view name, sim::Platform* out) {
-  if (name == "broadwell-edram-off") *out = sim::broadwell(sim::EdramMode::kOff);
-  else if (name == "broadwell-edram-on") *out = sim::broadwell(sim::EdramMode::kOn);
-  else if (name == "knl-ddr") *out = sim::knl(sim::McdramMode::kOff);
-  else if (name == "knl-cache") *out = sim::knl(sim::McdramMode::kCache);
-  else if (name == "knl-flat") *out = sim::knl(sim::McdramMode::kFlat);
-  else if (name == "knl-hybrid") *out = sim::knl(sim::McdramMode::kHybrid);
-  else return false;
-  return true;
+  // One grammar for the whole stack: the advisor owns the selectors.
+  return advise::resolve_platform(name, out);
 }
 
 bool parse_request(std::string_view line, Request* out, Error* err) {
-  // A reused *out must not leak a previous request's envelope into this
-  // parse (the version decides which id spelling is legal below).
-  out->version = 1;
-  out->id.clear();
   std::string parse_error;
   const auto doc = util::parse_json(line, &parse_error);
   if (!doc) {
+    // Envelope recovery happens inside parse_request_value; a line that
+    // never parsed has no envelope to recover beyond the defaults.
+    out->version = 1;
+    out->id.clear();
     err->category = "parse";
     err->message = parse_error;
     err->retry_after_ms = 0;
     return false;
   }
-  if (!doc->is_object()) {
+  return parse_request_value(*doc, out, err);
+}
+
+bool parse_request_value(const util::JsonValue& doc, Request* out, Error* err) {
+  // A reused *out must not leak a previous request's envelope into this
+  // parse (the version decides which id spelling is legal below).
+  out->version = 1;
+  out->id.clear();
+  if (!doc.is_object()) {
     err->category = "parse";
     err->message = "request must be a JSON object";
     err->retry_after_ms = 0;
@@ -166,7 +148,7 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
 
   // Recover the envelope first — version, then the version's id spelling —
   // so even a rejected request's error echoes both.
-  if (const util::JsonValue* v = doc->find("v")) {
+  if (const util::JsonValue* v = doc.find("v")) {
     if (!v->is_number() || v->number != std::floor(v->number))
       return bad(err, "field \"v\" must be an integer");
     if (v->number != 1.0 && v->number != 2.0) {
@@ -178,8 +160,8 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
     }
     out->version = static_cast<int>(v->number);
   }
-  const util::JsonValue* id_field = doc->find("id");
-  const util::JsonValue* req_id_field = doc->find("req_id");
+  const util::JsonValue* id_field = doc.find("id");
+  const util::JsonValue* req_id_field = doc.find("req_id");
   if (out->version == 2) {
     if (id_field) return bad(err, "v2 requests name the echo token \"req_id\", not \"id\"");
     if (req_id_field) {
@@ -198,32 +180,70 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
     }
   }
 
-  const util::JsonValue* type = doc->find("type");
+  const util::JsonValue* type = doc.find("type");
   if (!type || !type->is_string())
     return bad(err, "missing required string field \"type\"");
   const std::string& t = type->string;
   if (t == "dense") out->type = RequestType::kDense;
   else if (t == "sparse") out->type = RequestType::kSparse;
   else if (t == "footprint") out->type = RequestType::kFootprint;
+  else if (t == "advise") out->type = RequestType::kAdvise;
+  else if (t == "config") out->type = RequestType::kConfig;
   else if (t == "stats") out->type = RequestType::kStats;
   else if (t == "ping") out->type = RequestType::kPing;
   else if (t == "hello") out->type = RequestType::kHello;
   else return bad(err, "unknown request type \"" + t + "\"");
 
   if (out->type == RequestType::kStats || out->type == RequestType::kPing)
-    return check_fields(*doc, {"type", "id", "v", "req_id"}, err);
+    return check_fields(doc, {"type", "id", "v", "req_id"}, err);
 
   if (out->type == RequestType::kHello) {
-    if (!check_fields(*doc, {"type", "id", "v", "req_id", "token"}, err)) return false;
-    if (const util::JsonValue* token = doc->find("token")) {
+    if (!check_fields(doc, {"type", "id", "v", "req_id", "token"}, err)) return false;
+    if (const util::JsonValue* token = doc.find("token")) {
       if (!token->is_string()) return bad(err, "field \"token\" must be a string");
       out->token = token->string;
     }
     return true;
   }
 
-  // Sweep requests: resolve the platform, then the type-specific fields.
-  const util::JsonValue* platform = doc->find("platform");
+  if (out->type == RequestType::kConfig) {
+    // Config has no allowlist rejection: a knob this build does not know is
+    // its own error kind, so an operator scripting against a mixed-version
+    // tier can tell "typo" from "this server is too old" mechanically.
+    ConfigRequest& c = out->config;
+    c = ConfigRequest{};
+    for (const auto& [key, value] : doc.members) {
+      if (key == "type" || key == "id" || key == "v" || key == "req_id") continue;
+      if (key == "sweep_workers") {
+        if (!value.is_number() || !std::isfinite(value.number) ||
+            value.number != std::floor(value.number) || value.number < 0.0 ||
+            value.number > 256.0)
+          return bad(err, "field \"sweep_workers\" must be an integer in [0, 256]");
+        c.has_sweep_workers = true;
+        c.sweep_workers = static_cast<int>(value.number);
+      } else if (key == "cache_enabled") {
+        if (!value.is_bool()) return bad(err, "field \"cache_enabled\" must be a boolean");
+        c.has_cache_enabled = true;
+        c.cache_enabled = value.boolean;
+      } else if (key == "advise_verify") {
+        if (!value.is_bool()) return bad(err, "field \"advise_verify\" must be a boolean");
+        c.has_advise_verify = true;
+        c.advise_verify = value.boolean;
+      } else {
+        err->category = "unsupported-key";
+        err->message = "config knob \"" + key +
+                       "\" is not supported by this server (supported: "
+                       "sweep_workers, cache_enabled, advise_verify)";
+        err->retry_after_ms = 0;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Sweep and advise requests: resolve the platform, then the
+  // type-specific fields.
+  const util::JsonValue* platform = doc.find("platform");
   if (!platform || !platform->is_string())
     return bad(err, "missing required string field \"platform\"");
   if (!resolve_platform(platform->string, &out->platform))
@@ -234,7 +254,7 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
 
   core::KernelId kernel{};
   bool have_kernel = false;
-  if (const util::JsonValue* k = doc->find("kernel")) {
+  if (const util::JsonValue* k = doc.find("kernel")) {
     if (!k->is_string()) return bad(err, "field \"kernel\" must be a string");
     if (!parse_kernel(k->string, &kernel))
       return bad(err, "unknown kernel \"" + k->string + "\"");
@@ -244,7 +264,7 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
   bool ok = true;
   switch (out->type) {
     case RequestType::kDense: {
-      if (!check_fields(*doc,
+      if (!check_fields(doc,
                         {"type", "id", "v", "req_id", "platform", "kernel", "n_lo", "n_hi",
                          "n_step", "nb_lo", "nb_hi", "nb_step"},
                         err))
@@ -255,12 +275,12 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
           return bad(err, "dense sweeps accept kernel gemm or cholesky");
         r.kernel = kernel;
       }
-      if (!read_number(*doc, "n_lo", &r.n_lo, err, &ok) ||
-          !read_number(*doc, "n_hi", &r.n_hi, err, &ok) ||
-          !read_number(*doc, "n_step", &r.n_step, err, &ok) ||
-          !read_number(*doc, "nb_lo", &r.nb_lo, err, &ok) ||
-          !read_number(*doc, "nb_hi", &r.nb_hi, err, &ok) ||
-          !read_number(*doc, "nb_step", &r.nb_step, err, &ok))
+      if (!read_number(doc, "n_lo", &r.n_lo, err, &ok) ||
+          !read_number(doc, "n_hi", &r.n_hi, err, &ok) ||
+          !read_number(doc, "n_step", &r.n_step, err, &ok) ||
+          !read_number(doc, "nb_lo", &r.nb_lo, err, &ok) ||
+          !read_number(doc, "nb_hi", &r.nb_hi, err, &ok) ||
+          !read_number(doc, "nb_step", &r.nb_step, err, &ok))
         return ok;
       if (r.n_lo < 1.0 || r.nb_lo < 1.0) return bad(err, "grid bounds must be >= 1");
       if (r.n_hi < r.n_lo || r.nb_hi < r.nb_lo)
@@ -272,7 +292,7 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
       return true;
     }
     case RequestType::kSparse: {
-      if (!check_fields(*doc,
+      if (!check_fields(doc,
                         {"type", "id", "v", "req_id", "platform", "kernel", "merge_based"},
                         err))
         return false;
@@ -283,11 +303,11 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
           return bad(err, "sparse sweeps accept kernel spmv, sptrans, or sptrsv");
         r.kernel = kernel;
       }
-      if (!read_bool(*doc, "merge_based", &r.merge_based, err, &ok)) return ok;
+      if (!read_bool(doc, "merge_based", &r.merge_based, err, &ok)) return ok;
       return true;
     }
     case RequestType::kFootprint: {
-      if (!check_fields(*doc,
+      if (!check_fields(doc,
                         {"type", "id", "v", "req_id", "platform", "kernel", "fp_lo", "fp_hi",
                          "points"},
                         err))
@@ -299,10 +319,10 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
           return bad(err, "footprint sweeps accept kernel stream, stencil, or fft");
         r.kernel = kernel;
       }
-      if (!read_number(*doc, "fp_lo", &r.fp_lo, err, &ok) ||
-          !read_number(*doc, "fp_hi", &r.fp_hi, err, &ok))
+      if (!read_number(doc, "fp_lo", &r.fp_lo, err, &ok) ||
+          !read_number(doc, "fp_hi", &r.fp_hi, err, &ok))
         return ok;
-      if (const util::JsonValue* p = doc->find("points")) {
+      if (const util::JsonValue* p = doc.find("points")) {
         if (!p->is_number() || !std::isfinite(p->number) || p->number < 1.0 ||
             p->number != std::floor(p->number) ||
             p->number > static_cast<double>(kMaxFootprintPoints))
@@ -311,6 +331,26 @@ bool parse_request(std::string_view line, Request* out, Error* err) {
       }
       if (r.fp_lo <= 0.0) return bad(err, "fp_lo must be > 0");
       if (r.fp_hi <= r.fp_lo) return bad(err, "fp_hi must be > fp_lo");
+      return true;
+    }
+    case RequestType::kAdvise: {
+      if (!check_fields(doc,
+                        {"type", "id", "v", "req_id", "platform", "kernel", "objective",
+                         "footprint_bytes", "verify"},
+                        err))
+        return false;
+      advise::AdviseRequest& r = out->advise;
+      r = advise::AdviseRequest{};
+      r.platform = out->platform_name;
+      if (!have_kernel) return bad(err, "advise requests require a \"kernel\" field");
+      r.kernel = kernel;
+      if (const util::JsonValue* o = doc.find("objective")) {
+        if (!o->is_string() || !advise::parse_objective(o->string, &r.objective))
+          return bad(err, "field \"objective\" must be \"perf\" or \"energy\"");
+      }
+      if (!read_number(doc, "footprint_bytes", &r.footprint_bytes, err, &ok)) return ok;
+      if (r.footprint_bytes < 0.0) return bad(err, "footprint_bytes must be >= 0");
+      if (!read_bool(doc, "verify", &r.verify, err, &ok)) return ok;
       return true;
     }
     default: break;
@@ -324,6 +364,17 @@ const sparse::SyntheticCollection& serve_suite() {
 }
 
 util::Digest128 request_key(const Request& req) {
+  if (req.type == RequestType::kAdvise) {
+    // The advisor owns its payload identity (platform spec, canonical
+    // request text, suite, verify switch); the serve tag only marks the
+    // response format so a future payload change cannot collide.
+    const util::Digest128 base = advise::advise_cache_key(req.advise);
+    util::Hasher128 h;
+    h.add(std::string_view("opm.serve.advise.v1"));
+    h.add(base.hi);
+    h.add(base.lo);
+    return h.digest();
+  }
   util::Digest128 base;
   switch (req.type) {
     case RequestType::kDense:
@@ -347,6 +398,7 @@ util::Digest128 request_key(const Request& req) {
 }
 
 std::string execute(const Request& req) {
+  if (req.type == RequestType::kAdvise) return advise::run_and_render(req.advise);
   std::vector<core::SweepPoint> points;
   switch (req.type) {
     case RequestType::kDense:
@@ -404,6 +456,21 @@ std::string render_request(const Request& req) {
     out += '}';
     return out;
   }
+  if (req.type == RequestType::kConfig) {
+    const ConfigRequest& c = req.config;
+    if (c.has_sweep_workers)
+      out += ",\"sweep_workers\":" + shortest(static_cast<std::uint64_t>(c.sweep_workers));
+    if (c.has_cache_enabled) {
+      out += ",\"cache_enabled\":";
+      out += c.cache_enabled ? "true" : "false";
+    }
+    if (c.has_advise_verify) {
+      out += ",\"advise_verify\":";
+      out += c.advise_verify ? "true" : "false";
+    }
+    out += '}';
+    return out;
+  }
   out += ",\"platform\":\"";
   out += util::json_escape(req.platform_name);
   out += '"';
@@ -431,6 +498,17 @@ std::string render_request(const Request& req) {
       out += kernel_name(r.kernel);
       out += "\",\"fp_lo\":" + shortest(r.fp_lo) + ",\"fp_hi\":" + shortest(r.fp_hi) +
              ",\"points\":" + shortest(static_cast<std::uint64_t>(r.points));
+      break;
+    }
+    case RequestType::kAdvise: {
+      const advise::AdviseRequest& r = req.advise;
+      out += ",\"kernel\":\"";
+      out += advise::kernel_token(r.kernel);
+      out += "\",\"objective\":\"";
+      out += advise::to_string(r.objective);
+      out += "\",\"footprint_bytes\":" + shortest(r.footprint_bytes);
+      out += ",\"verify\":";
+      out += r.verify ? "true" : "false";
       break;
     }
     default:
@@ -583,6 +661,8 @@ std::string render_view(const Envelope& env, const ResponseView& view) {
   if (view.type == "dense") type = RequestType::kDense;
   else if (view.type == "sparse") type = RequestType::kSparse;
   else if (view.type == "footprint") type = RequestType::kFootprint;
+  else if (view.type == "advise") type = RequestType::kAdvise;
+  else if (view.type == "config") type = RequestType::kConfig;
   return render_response(env, type, view.payload);
 }
 

@@ -4,10 +4,12 @@
 #include <string_view>
 #include <vector>
 
+#include "advise/advise.hpp"
 #include "core/experiment.hpp"
 #include "sim/platform.hpp"
 #include "sparse/collection.hpp"
 #include "util/fingerprint.hpp"
+#include "util/json.hpp"
 
 /// The opm_serve wire protocol: newline-delimited JSON requests, one JSON
 /// response line per request. Two envelope versions share one payload
@@ -60,17 +62,35 @@
 ///   {"id":"r1","ok":false,"error":{"category":"overload",
 ///    "message":"...","retry_after_ms":50}}
 ///
+/// Beyond the three sweeps, v2 adds two operational request types:
+///
+///   {"v":2,"req_id":"a1","type":"advise","platform":"knl-ddr",
+///    "kernel":"spmv","objective":"perf"}          // + footprint_bytes, verify
+///   {"v":2,"req_id":"c1","type":"config","sweep_workers":4,
+///    "cache_enabled":true,"advise_verify":false}
+///
+/// "advise" runs the roofline-guided tuning advisor (opm::advise) and
+/// returns its deterministic JSON payload; it is digest-routed, coalesced,
+/// and payload-cached like any sweep. "config" hot-reloads the sweep knobs
+/// on a live server (answered inline, never queued); any key outside the
+/// supported set is rejected with the "unsupported-key" error kind.
+///
+/// A request line may also be a top-level JSON *array* of request
+/// envelopes (v2 batch): the server answers each element with its own
+/// response line, in completion order, matched back by req_id.
+///
 /// Error categories: "parse" (not valid JSON), "bad-request" (valid JSON,
 /// invalid request), "unsupported-version" ("v" is neither 1 nor 2),
-/// "oversized" (line exceeded the server limit; the connection is closed
-/// because framing is lost), "auth" (listener requires a hello token; the
-/// connection is closed), "overload" and "draining" (admission control;
-/// retry_after_ms > 0), "redirect" (this shard does not own the request's
-/// key; the error object carries `"shard":N`, the owner under the
-/// server's ring view), "internal" (the computation failed).
+/// "unsupported-key" (a "config" request named a knob this server does not
+/// support), "oversized" (line exceeded the server limit; the connection
+/// is closed because framing is lost), "auth" (listener requires a hello
+/// token; the connection is closed), "overload" and "draining" (admission
+/// control; retry_after_ms > 0), "redirect" (this shard does not own the
+/// request's key; the error object carries `"shard":N`, the owner under
+/// the server's ring view), "internal" (the computation failed).
 namespace opm::serve::protocol {
 
-enum class RequestType { kDense, kSparse, kFootprint, kStats, kPing, kHello };
+enum class RequestType { kDense, kSparse, kFootprint, kAdvise, kConfig, kStats, kPing, kHello };
 
 const char* to_string(RequestType type);
 
@@ -78,7 +98,20 @@ const char* to_string(RequestType type);
 /// the request parser's kernel lookup.
 const char* kernel_name(core::KernelId id);
 
-/// A fully-validated request. Exactly one of the three sweep structs is
+/// A validated "config" hot-reload request: each knob is optional, and
+/// only knobs that were present are applied. The dispatcher answers these
+/// inline (never queued) so a drained or saturated server still accepts
+/// reconfiguration.
+struct ConfigRequest {
+  bool has_sweep_workers = false;
+  int sweep_workers = 0;  ///< 0 = serial
+  bool has_cache_enabled = false;
+  bool cache_enabled = false;
+  bool has_advise_verify = false;
+  bool advise_verify = false;
+};
+
+/// A fully-validated request. Exactly one of the payload structs is
 /// meaningful, selected by `type`; `platform` is resolved from the
 /// selector string.
 struct Request {
@@ -91,6 +124,8 @@ struct Request {
   core::DenseSweepRequest dense;
   core::SparseSweepRequest sparse;
   core::FootprintSweepRequest footprint;
+  advise::AdviseRequest advise;
+  ConfigRequest config;
 };
 
 /// A structured protocol error, rendered by render_error.
@@ -122,10 +157,16 @@ Envelope envelope_of(const Request& req, int shard = 0);
 bool resolve_platform(std::string_view name, sim::Platform* out);
 
 /// Parses and validates one request line (either envelope version). On
-/// failure fills *err (category "parse", "bad-request", or
-/// "unsupported-version") and returns false; *out keeps whatever version
-/// and id were recovered so the error response can still echo them.
+/// failure fills *err (category "parse", "bad-request",
+/// "unsupported-version", or "unsupported-key") and returns false; *out
+/// keeps whatever version and id were recovered so the error response can
+/// still echo them.
 bool parse_request(std::string_view line, Request* out, Error* err);
+
+/// Validates an already-parsed JSON request object — the core of
+/// parse_request, exposed so batch (array) handling validates each
+/// element without re-serializing it.
+bool parse_request_value(const util::JsonValue& doc, Request* out, Error* err);
 
 /// Serializes a validated request back to one v2 wire line (the form the
 /// router forwards to shards). Doubles are rendered shortest-round-trip,

@@ -14,12 +14,22 @@
 #include <vector>
 
 #include "serve/conn.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/mutex.hpp"
 #include "util/socket.hpp"
 
 namespace opm::serve {
+
+namespace {
+
+/// Hard ceiling on batch (array) request size: a batch is a convenience
+/// for scripting clients, not a bulk-load side channel around the
+/// per-client quota. 64 matches the default queue depth.
+constexpr std::size_t kMaxBatchRequests = 64;
+
+}  // namespace
 
 struct Server::Impl {
   explicit Impl(const ServerConfig& cfg) : config(cfg), dispatcher(cfg.dispatch) {
@@ -65,7 +75,9 @@ struct Server::Impl {
   /// when the connection must close (auth failure).
   bool handle_line(const std::string& line, std::uint64_t client,
                    const std::shared_ptr<Conn>& conn, bool gate_auth) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) return true;  // blank: ignore
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) return true;  // blank: ignore
+    if (line[first] == '[') return handle_batch(line, client, conn, gate_auth);
     protocol::Request req;
     protocol::Error err;
     if (!protocol::parse_request(line, &req, &err)) {
@@ -97,6 +109,77 @@ struct Server::Impl {
     }
     dispatcher.submit(client, std::move(req),
                       [conn](std::string response) { conn->write_line(std::move(response)); });
+    return true;
+  }
+
+  /// A top-level JSON array is a v2 batch: every element is validated and
+  /// dispatched independently, and each gets its own response line in
+  /// completion order (clients match by req_id). Batch-level faults (not
+  /// an array, empty, oversized) answer with one error line carrying an
+  /// empty req_id; per-element faults answer under that element's own
+  /// recovered envelope. hello cannot ride in a batch — auth is a
+  /// connection property, not a request property — so a gated connection
+  /// must have sent its hello line before its first batch.
+  bool handle_batch(const std::string& line, std::uint64_t client,
+                    const std::shared_ptr<Conn>& conn, bool gate_auth) {
+    auto& errors_protocol = util::MetricsRegistry::instance().counter("serve.errors_protocol");
+    const protocol::Envelope batch_env{2, std::string(), config.dispatch.shard_id};
+    std::string parse_error;
+    const auto doc = util::parse_json(line, &parse_error);
+    if (!doc || !doc->is_array()) {
+      errors_protocol.add(1);
+      protocol::Error err;
+      err.category = "parse";
+      err.message = doc ? "batch must be a JSON array of request objects" : parse_error;
+      conn->write_line(protocol::render_error(batch_env, err));
+      return true;
+    }
+    if (doc->items.empty()) {
+      errors_protocol.add(1);
+      protocol::Error err;
+      err.category = "bad-request";
+      err.message = "batch array must not be empty";
+      conn->write_line(protocol::render_error(batch_env, err));
+      return true;
+    }
+    if (doc->items.size() > kMaxBatchRequests) {
+      errors_protocol.add(1);
+      protocol::Error err;
+      err.category = "bad-request";
+      err.message = "batch exceeds " +
+                    std::to_string(kMaxBatchRequests) +  // opm-lint: allow(float-print) — integer limit
+                    " requests";
+      conn->write_line(protocol::render_error(batch_env, err));
+      return true;
+    }
+    if (gate_auth && !conn->is_authed()) {
+      util::MetricsRegistry::instance().counter("serve.rejected_auth").add(1);
+      protocol::Error auth_err;
+      auth_err.category = "auth";
+      auth_err.message =
+          "this listener requires a {\"type\":\"hello\",\"token\":...} first; closing connection";
+      conn->write_line(protocol::render_error(batch_env, auth_err));
+      return false;
+    }
+    for (const util::JsonValue& item : doc->items) {
+      protocol::Request req;
+      protocol::Error err;
+      if (!protocol::parse_request_value(item, &req, &err)) {
+        errors_protocol.add(1);
+        conn->write_line(protocol::render_error(error_envelope(req), err));
+        continue;
+      }
+      if (req.type == protocol::RequestType::kHello) {
+        errors_protocol.add(1);
+        protocol::Error hello_err;
+        hello_err.category = "bad-request";
+        hello_err.message = "hello must be its own line, not a batch element";
+        conn->write_line(protocol::render_error(error_envelope(req), hello_err));
+        continue;
+      }
+      dispatcher.submit(client, std::move(req),
+                        [conn](std::string response) { conn->write_line(std::move(response)); });
+    }
     return true;
   }
 
