@@ -231,6 +231,34 @@ TEST(LintAllow, SuppressesExactlyTheNamedRules) {
   EXPECT_EQ(findings[0].line, 2u);
 }
 
+TEST(LintAllow, MarkerInsideStringLiteralIsData) {
+  // A marker spelled inside a string literal is content, not a
+  // suppression — otherwise any file echoing lint syntax (this test!)
+  // would silently disable its own checks.
+  const std::string in_string =
+      "const char* s = \"// opm-lint: allow(rng)\"; int x = rand();\n";
+  const auto findings = check_source("src/core/foo.cpp", in_string);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng");
+
+  const std::string in_raw =
+      "const char* s = R\"(// opm-lint: allow(rng))\"; int x = rand();\n";
+  EXPECT_EQ(check_source("src/core/foo.cpp", in_raw).size(), 1u);
+}
+
+TEST(LintAllow, MarkerInsideBlockCommentIsIgnored) {
+  // Only the trailing line comment is a hatch; block comments are prose.
+  const std::string block =
+      "int x = rand(); /* opm-lint: allow(rng) */\n";
+  ASSERT_EQ(check_source("src/core/foo.cpp", block).size(), 1u);
+
+  // And a real line-comment hatch still works when a block comment also
+  // sits on the line.
+  const std::string both =
+      "int x = rand(); /* noise */ // opm-lint: allow(rng)\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", both).empty());
+}
+
 // ----------------------------------------------------- lexer corner cases --
 
 TEST(LintLexer, CommentsStringsAndRawStringsAreNotCode) {

@@ -206,6 +206,54 @@ TEST(Protocol, ResponseEnvelopeRoundTrips) {
   EXPECT_DOUBLE_EQ(edoc->find("error")->find("retry_after_ms")->number, 50.0);
 }
 
+TEST(Protocol, EveryErrorKindRoundTripsByteStably) {
+  // One case per kind in the protocol.hpp taxonomy — the same closed set
+  // the opm_analyze protocol pass checks against docs and handlers. Each
+  // kind must survive render_error → parse_response → render_view with
+  // byte-identical output under both envelope versions: the router
+  // forwards backend errors through exactly this path, so any kind that
+  // doesn't re-render stably would be corrupted in the sharded tier.
+  struct Kind {
+    const char* category;
+    int retry_after_ms;
+    int shard;
+  };
+  const Kind kinds[] = {
+      {"parse", 0, -1},          {"bad-request", 0, -1},
+      {"unsupported-version", 0, -1}, {"unsupported-key", 0, -1},
+      {"oversized", 0, -1},      {"auth", 0, -1},
+      {"overload", 25, -1},      {"draining", 40, -1},
+      {"redirect", 0, 3},        {"internal", 0, -1},
+  };
+  for (int version : {1, 2}) {
+    for (const auto& k : kinds) {
+      Error err;
+      err.category = k.category;
+      err.message = std::string("synthetic \"") + k.category + "\" érror";
+      err.retry_after_ms = k.retry_after_ms;
+      err.shard = k.shard;
+      serve::protocol::Envelope env;
+      env.version = version;
+      env.id = version == 2 ? "req-7" : "id-7";
+      env.shard = version == 2 ? 2 : 0;
+      const std::string wire = serve::protocol::render_error(env, err);
+
+      serve::protocol::ResponseView view;
+      ASSERT_TRUE(serve::protocol::parse_response(wire, &view)) << wire;
+      EXPECT_FALSE(view.ok);
+      EXPECT_EQ(view.version, version);
+      EXPECT_EQ(view.error.category, k.category);
+      EXPECT_EQ(view.error.message, err.message) << k.category;
+      EXPECT_EQ(view.error.retry_after_ms, k.retry_after_ms);
+      if (k.shard >= 0) {
+        EXPECT_EQ(view.error.shard, k.shard);
+      }
+
+      EXPECT_EQ(serve::protocol::render_view(env, view), wire) << k.category;
+    }
+  }
+}
+
 TEST(Protocol, V2EnvelopeParsesAndRejectsCrossVersionSpellings) {
   // A v2 request: "v":2 plus "req_id"; everything else is unchanged.
   Request req;

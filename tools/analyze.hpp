@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// opm_analyze — token-based cross-file static analysis (docs/MODEL.md §15).
+///
+/// opm_lint (tools/lint.*) checks per-line invariants inside one file.
+/// The invariants that every PR since 1 has been adding *by convention*
+/// are cross-file: lock acquisition order spans translation units, the
+/// serve error-kind taxonomy spans protocol code, docs, and tests, dotted
+/// metric names span src/ producers and bench/ci consumers, and the
+/// util → {sim,dense,sparse,kernels,trace} → core → {serve,advise}
+/// layering spans the whole include graph. opm_analyze makes those
+/// mechanical: it lexes every source with the shared tokenizer
+/// (tools/lexer.*) and runs four semantic passes over the combined
+/// token streams:
+///
+///   lock-order   harvest util::MutexLock acquisition scopes across all
+///                annotated files, build the global lock-order graph
+///                (edge A→B when B is acquired while A is held), and fail
+///                on cycles — static deadlock detection for ALL
+///                interleavings, complementing TSan which only sees the
+///                interleavings a test happens to exercise
+///   protocol     the serve error-kind taxonomy must be exhaustive: every
+///                kind constructed in src/serve must appear in the
+///                protocol.hpp taxonomy comment, in docs/MODEL.md, and in
+///                a string literal of tests/test_serve.cpp or
+///                tests/test_router.cpp; every kind the router/loadgen
+///                compare against must actually exist; the router must
+///                handle "redirect"
+///   metrics      every dotted counter name is well-formed, written by
+///                exactly one src/ file (its owner), never a near-miss
+///                (edit distance 1) of a sibling, and every name
+///                referenced from bench gates, tools, tests, or
+///                scripts/ci.sh resolves to a defined counter — catching
+///                "cache.missses"-style typos that today read as zero
+///   layering     include-graph construction with file-level cycle
+///                detection and the architecture rules enforced
+///                (util includes only util; sim never core/serve/advise;
+///                core never serve/advise; advise never serve; src never
+///                bench/tests/tools/examples)
+///
+/// Findings carry a stable (pass, key) identity; a checked-in suppression
+/// baseline (one "pass key" pair per line, '#' comments) grandfathers
+/// documented edges without hiding new ones — a baseline entry that
+/// matches nothing is itself a finding, so the file can only shrink.
+///
+/// Exit contract (same as opm_benchdiff): 0 clean, 1 findings, 2
+/// usage/IO error.
+namespace opm::analyze {
+
+struct Finding {
+  std::string file;     ///< path as scanned (repo-root-relative)
+  std::size_t line;     ///< 1-based; 0 = whole-file / cross-file
+  std::string pass;     ///< "lock-order" | "protocol" | "metrics" | "layering" | "baseline" | "io"
+  std::string key;      ///< stable suppression key (no whitespace)
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+struct PassInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The pass table, in execution order (stable IDs; docs/MODEL.md §15).
+const std::vector<PassInfo>& passes();
+
+/// One input file. Non-C++ paths (docs/MODEL.md, scripts/ci.sh) take part
+/// as reference text: the protocol pass looks kinds up in MODEL.md, the
+/// metrics pass scans ci.sh for dotted counter names.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Per-pass wall time + finding count for the CI job summary.
+struct PassTiming {
+  std::string pass;
+  double seconds = 0.0;
+  std::size_t findings = 0;
+};
+
+struct Report {
+  std::vector<Finding> findings;    ///< after baseline subtraction, sorted
+  std::size_t suppressed = 0;       ///< findings a baseline entry absorbed
+  std::vector<PassTiming> timing;   ///< one entry per executed pass
+};
+
+/// Runs every pass over in-memory sources. `baseline` is the suppression
+/// file content ("" = empty baseline). `only_pass` restricts execution to
+/// one pass id ("" = all). Stale baseline entries surface as "baseline"
+/// findings.
+Report analyze_sources(const std::vector<SourceFile>& sources,
+                       const std::string& baseline = {},
+                       const std::string& only_pass = {});
+
+/// Loads *.hpp/*.h/*.cpp/*.cc under the roots (files or directories,
+/// sorted for determinism) plus any explicitly-listed non-C++ files, then
+/// analyzes. Unreadable paths produce "io" findings.
+Report analyze_paths(const std::vector<std::string>& roots,
+                     const std::string& baseline_path = {},
+                     const std::string& only_pass = {});
+
+/// CLI entry point (main() is a one-liner around this):
+///   opm_analyze [--format=text|json] [--baseline=FILE] [--pass=ID]
+///               [--list-passes] <path>...
+/// Text mode prints file:line: [pass] message lines, per-pass timing, and
+/// a summary; JSON mode prints one machine-readable object.
+/// Exit: 0 clean, 1 findings, 2 usage/IO error.
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace opm::analyze

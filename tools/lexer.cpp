@@ -1,0 +1,263 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace opm::lex {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+Source lex(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+
+  Source out;
+  Line cur;
+  State state = State::kCode;
+  std::string raw_delim;      // kRawString: the ")delim\"" terminator
+  std::size_t line_no = 1;
+
+  Token tok;                  // the identifier/number/string/char being built
+  bool tok_open = false;
+
+  auto flush_tok = [&] {
+    if (tok_open) {
+      out.tokens.push_back(tok);
+      tok = Token{};
+      tok_open = false;
+    }
+  };
+  auto open_tok = [&](TokenKind kind) {
+    flush_tok();
+    tok.kind = kind;
+    tok.text.clear();
+    tok.line = line_no;
+    tok_open = true;
+  };
+  auto punct = [&](char c) {
+    flush_tok();
+    out.tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line_no});
+  };
+  auto end_line = [&] {
+    out.lines.push_back(std::move(cur));
+    cur = Line{};
+    ++line_no;
+  };
+
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (state == State::kCode) flush_tok();
+      if (state == State::kLineComment) state = State::kCode;
+      end_line();
+      continue;
+    }
+    cur.raw.push_back(c);
+    switch (state) {
+      case State::kLineComment:
+        cur.line_comment.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          ++i;
+          cur.raw.push_back('/');
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+          if (content[i] == '\n') {  // escaped newline inside a literal
+            end_line();
+          } else {
+            cur.raw.push_back(content[i]);
+            cur.strings.push_back(content[i]);
+            tok.text.push_back(content[i]);
+          }
+        } else if (c == '"') {
+          cur.code.push_back('"');
+          flush_tok();
+          state = State::kCode;
+        } else {
+          cur.strings.push_back(c);
+          tok.text.push_back(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+          cur.raw.push_back(content[i]);
+          tok.text.push_back(content[i]);
+        } else if (c == '\'') {
+          cur.code.push_back('\'');
+          flush_tok();
+          state = State::kCode;
+        } else {
+          tok.text.push_back(c);
+        }
+        break;
+      case State::kRawString:
+        cur.strings.push_back(c);
+        tok.text.push_back(c);
+        if (c == '"' && tok.text.size() >= raw_delim.size()) {
+          // Did we just consume ")delim\"" ? The terminator never spans
+          // lines (delimiters cannot contain newlines), so the tail of
+          // both the token text and this line's strings hold it whole.
+          const std::string& s = tok.text;
+          if (s.compare(s.size() - raw_delim.size(), raw_delim.size(), raw_delim) == 0) {
+            tok.text.erase(tok.text.size() - raw_delim.size());
+            cur.strings.erase(cur.strings.size() - raw_delim.size());
+            cur.code.push_back('"');
+            flush_tok();
+            state = State::kCode;
+          }
+        }
+        break;
+      case State::kCode:
+        // Token continuation first: identifiers, and the number shapes
+        // that would otherwise confuse the classifier (digit separators,
+        // hex digits, exponent signs).
+        if (tok_open && tok.kind == TokenKind::kIdentifier && is_ident_char(c)) {
+          tok.text.push_back(c);
+          cur.code.push_back(c);
+          break;
+        }
+        if (tok_open && tok.kind == TokenKind::kNumber) {
+          const char prev = tok.text.empty() ? '\0' : tok.text.back();
+          const bool exp_sign =
+              (c == '+' || c == '-') &&
+              (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P');
+          const bool separator = c == '\'' && is_digit(prev) && i + 1 < n &&
+                                 (is_digit(content[i + 1]) ||
+                                  std::isxdigit(static_cast<unsigned char>(content[i + 1])));
+          if (is_ident_char(c) || c == '.' || exp_sign || separator) {
+            tok.text.push_back(c);
+            cur.code.push_back(c);
+            break;
+          }
+        }
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          flush_tok();
+          state = State::kLineComment;
+          cur.raw.push_back('/');
+          ++i;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          flush_tok();
+          state = State::kBlockComment;
+          cur.raw.push_back('*');
+          ++i;
+        } else if (c == '#' &&
+                   cur.code.find_first_not_of(" \t") == std::string::npos) {
+          // Start of a preprocessor directive. #include gets its path
+          // captured (and collapsed out of the code text, so "<time.h>"
+          // never reads as code); everything else lexes normally.
+          flush_tok();
+          std::size_t j = i + 1;
+          while (j < n && (content[j] == ' ' || content[j] == '\t')) ++j;
+          std::size_t w = j;
+          while (w < n && is_ident_char(content[w])) ++w;
+          if (content.compare(j, w - j, "include") == 0 && w > j) {
+            std::size_t p = w;
+            while (p < n && (content[p] == ' ' || content[p] == '\t')) ++p;
+            if (p < n && (content[p] == '"' || content[p] == '<')) {
+              const char close = content[p] == '"' ? '"' : '>';
+              std::size_t e = p + 1;
+              while (e < n && content[e] != close && content[e] != '\n') ++e;
+              if (e < n && content[e] == close) {
+                Include inc;
+                inc.path = content.substr(p + 1, e - p - 1);
+                inc.angled = close == '>';
+                inc.line = line_no;
+                out.includes.push_back(std::move(inc));
+                // Collapse: code keeps the directive shape, not the path.
+                for (std::size_t k = i; k < p; ++k) cur.code.push_back(content[k]);
+                cur.code.push_back(content[p]);
+                cur.code.push_back(close);
+                for (std::size_t k = i + 1; k <= e; ++k) cur.raw.push_back(content[k]);
+                i = e;
+                break;
+              }
+            }
+          }
+          cur.code.push_back('#');
+          punct('#');
+        } else if (c == '"') {
+          const bool raw_literal =
+              i > 0 && content[i - 1] == 'R' &&
+              (i < 2 || !is_ident_char(content[i - 2]) || content[i - 2] == 'u' ||
+               content[i - 2] == 'U' || content[i - 2] == 'L' || content[i - 2] == '8');
+          cur.code.push_back('"');
+          if (raw_literal) {
+            // The R (with any encoding prefix) is the still-open
+            // identifier token; drop it — the string token carries the value.
+            if (tok_open && tok.kind == TokenKind::kIdentifier &&
+                !tok.text.empty() && tok.text.back() == 'R') {
+              tok_open = false;
+              tok = Token{};
+            }
+            raw_delim.assign(1, ')');
+            std::size_t j = i + 1;
+            while (j < n && content[j] != '(' && content[j] != '\n' &&
+                   raw_delim.size() < 18) {
+              raw_delim.push_back(content[j]);
+              cur.raw.push_back(content[j]);
+              ++j;
+            }
+            raw_delim.push_back('"');
+            if (j < n && content[j] == '(') cur.raw.push_back('(');
+            i = j;  // consumed through '('
+            open_tok(TokenKind::kString);
+            state = State::kRawString;
+          } else {
+            // An encoding-prefix identifier (u8, L, ...) directly before
+            // the quote belongs to the literal, not the code.
+            if (tok_open && tok.kind == TokenKind::kIdentifier &&
+                (tok.text == "u8" || tok.text == "u" || tok.text == "U" || tok.text == "L")) {
+              tok_open = false;
+              tok = Token{};
+            }
+            open_tok(TokenKind::kString);
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are handled by the number
+          // continuation above; a quote after a non-number is a char literal.
+          cur.code.push_back('\'');
+          open_tok(TokenKind::kChar);
+          state = State::kChar;
+        } else if (is_ident_start(c)) {
+          open_tok(TokenKind::kIdentifier);
+          tok.text.push_back(c);
+          cur.code.push_back(c);
+        } else if (is_digit(c) ||
+                   (c == '.' && i + 1 < n && is_digit(content[i + 1]) &&
+                    !(tok_open && tok.kind == TokenKind::kNumber))) {
+          open_tok(TokenKind::kNumber);
+          tok.text.push_back(c);
+          cur.code.push_back(c);
+        } else {
+          cur.code.push_back(c);
+          if (c != ' ' && c != '\t' && c != '\r' && c != '\f' && c != '\v') punct(c);
+          else flush_tok();
+        }
+        break;
+    }
+  }
+  if (state == State::kCode) flush_tok();
+  else if (tok_open) out.tokens.push_back(tok);  // unterminated literal: keep what we saw
+  out.lines.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace opm::lex

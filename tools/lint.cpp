@@ -9,155 +9,35 @@
 #include <sstream>
 #include <tuple>
 
+#include "lexer.hpp"
+
 namespace opm::lint {
 
 namespace {
 
 namespace fs = std::filesystem;
 
+// Line classification (comment-free code text, string-literal contents,
+// line-comment text) comes from the shared lexer in tools/lexer.*, the
+// same one opm_analyze's semantic passes tokenize with.
+using Line = lex::Line;
+
 bool is_ident(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-// ------------------------------------------------------------- classifier --
-//
-// Splits a source into lines, each with the comment-free code text (string
-// and char literals collapsed to "" / ''), the concatenated string-literal
-// contents, and the raw text (for the allow() escape hatch). Tracks
-// multi-line state: block comments, and raw string literals R"delim(...)".
-
-struct Line {
-  std::string code;
-  std::string strings;
-  std::string raw;
-};
-
-std::vector<Line> classify(const std::string& content) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  std::vector<Line> lines;
-  Line cur;
-  State state = State::kCode;
-  std::string raw_delim;  // for kRawString: the ")delim\"" terminator
-
-  const std::size_t n = content.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = content[i];
-    if (c == '\n') {
-      lines.push_back(std::move(cur));
-      cur = Line{};
-      if (state == State::kLineComment) state = State::kCode;
-      continue;
-    }
-    cur.raw.push_back(c);
-    switch (state) {
-      case State::kLineComment:
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
-          ++i;
-          cur.raw.push_back('/');
-          state = State::kCode;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < n) {
-          ++i;
-          if (content[i] == '\n') {  // escaped newline inside a literal
-            lines.push_back(std::move(cur));
-            cur = Line{};
-          } else {
-            cur.raw.push_back(content[i]);
-            cur.strings.push_back(content[i]);
-          }
-        } else if (c == '"') {
-          cur.code.push_back('"');
-          state = State::kCode;
-        } else {
-          cur.strings.push_back(c);
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < n) {
-          ++i;
-          cur.raw.push_back(content[i]);
-        } else if (c == '\'') {
-          cur.code.push_back('\'');
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        cur.strings.push_back(c);
-        if (c == '"' && cur.strings.size() >= raw_delim.size()) {
-          // Did we just consume ")delim\"" ? Check the tail of what this
-          // raw literal produced so far (delimiters cannot span newlines).
-          const std::string& s = cur.strings;
-          if (s.size() >= raw_delim.size() &&
-              s.compare(s.size() - raw_delim.size(), raw_delim.size(), raw_delim) == 0) {
-            cur.strings.erase(cur.strings.size() - raw_delim.size());
-            cur.code.push_back('"');
-            state = State::kCode;
-          }
-        }
-        break;
-      case State::kCode:
-        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
-          state = State::kLineComment;
-          cur.raw.push_back('/');
-          ++i;
-        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
-          state = State::kBlockComment;
-          cur.raw.push_back('*');
-          ++i;
-        } else if (c == '"') {
-          const bool raw_literal =
-              i > 0 && content[i - 1] == 'R' &&
-              (i < 2 || !is_ident(content[i - 2]) || content[i - 2] == 'u' ||
-               content[i - 2] == 'U' || content[i - 2] == 'L' || content[i - 2] == '8');
-          cur.code.push_back('"');
-          if (raw_literal) {
-            raw_delim = ")";
-            std::size_t j = i + 1;
-            while (j < n && content[j] != '(' && content[j] != '\n' &&
-                   raw_delim.size() < 18) {
-              raw_delim.push_back(content[j]);
-              cur.raw.push_back(content[j]);
-              ++j;
-            }
-            raw_delim.push_back('"');
-            if (j < n && content[j] == '(') cur.raw.push_back('(');
-            i = j;  // consumed through '('
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-        } else if (c == '\'') {
-          // Digit separators (1'000'000) are not char literals.
-          if (i > 0 && std::isdigit(static_cast<unsigned char>(content[i - 1]))) {
-            cur.code.push_back(c);
-          } else {
-            cur.code.push_back('\'');
-            state = State::kChar;
-          }
-        } else {
-          cur.code.push_back(c);
-        }
-        break;
-    }
-  }
-  lines.push_back(std::move(cur));
-  return lines;
-}
-
-/// Rule IDs suppressed on this line via "opm-lint: allow(a,b)".
-std::set<std::string> allowed_rules(const std::string& raw) {
+/// Rule IDs suppressed on this line via "opm-lint: allow(a,b)". Only the
+/// line-comment text is consulted: a marker spelled inside a string
+/// literal or a block comment is data, not a suppression.
+std::set<std::string> allowed_rules(const std::string& comment) {
   std::set<std::string> out;
-  const std::size_t marker = raw.find("opm-lint:");
+  const std::size_t marker = comment.find("opm-lint:");
   if (marker == std::string::npos) return out;
-  const std::size_t open = raw.find("allow(", marker);
+  const std::size_t open = comment.find("allow(", marker);
   if (open == std::string::npos) return out;
-  const std::size_t close = raw.find(')', open);
+  const std::size_t close = comment.find(')', open);
   if (close == std::string::npos) return out;
-  std::string ids = raw.substr(open + 6, close - open - 6);
+  std::string ids = comment.substr(open + 6, close - open - 6);
   std::string id;
   std::istringstream is(ids);
   while (std::getline(is, id, ',')) {
@@ -268,7 +148,7 @@ struct Sink {
 
   void emit(std::size_t line_index, const char* rule, std::string message) {
     if (line_index < lines.size() &&
-        allowed_rules(lines[line_index].raw).count(rule) > 0)
+        allowed_rules(lines[line_index].line_comment).count(rule) > 0)
       return;
     findings.push_back(Finding{path, line_index + 1, rule, std::move(message)});
   }
@@ -440,7 +320,7 @@ const std::vector<RuleInfo>& rules() {
 
 std::vector<Finding> check_source(const std::string& path, const std::string& content) {
   const std::string norm = normalized(path);
-  const std::vector<Line> lines = classify(content);
+  const std::vector<Line> lines = lex::lex(content).lines;
   std::vector<Finding> findings;
   Sink sink{path, lines, findings};
   check_rng(norm, sink);

@@ -1,0 +1,10 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+int main(int argc, char** argv) {
+  return opm::analyze::run(std::vector<std::string>(argv + 1, argv + argc), std::cout,
+                           std::cerr);
+}
