@@ -55,9 +55,13 @@
 # fresh BENCH_<name>.json against the committed baselines in the repo
 # root with tools/opm_benchdiff. A metric fails only when its median
 # moves beyond max(rel_floor, k·CV) in the harmful direction, so the gate
-# tightens exactly as far as the measurement is stable. Harness-internal
-# gates still apply (sim behavior-identity + CV-adjusted speedup floor,
-# cache >= 10x disk-warm, serve dedup/byte-identity); BENCH_micro.json has
+# tightens exactly as far as the measurement is stable; coverage is also
+# gated both ways (a baseline metric gone from the harness, or a harness
+# metric absent from the baseline, fails — regenerate the baseline with
+# --update-baseline). Harness-internal gates still apply (sim
+# behavior-identity + CV-adjusted speedup floor, sampled-sim speedup +
+# <=1% extrapolation error, cache >= 10x disk-warm, serve
+# dedup/byte-identity); BENCH_micro.json has
 # no committed baseline and is schema-validated instead. The sanitizer
 # jobs above keep instrumenting the reference-model path too: ctest runs
 # test_sim_differential, which drives SetAssociativeCache and
@@ -389,7 +393,10 @@ run_perf() {
   rm -rf "$scratch"
 
   echo "== [perf] quick-mode sampled runs (BENCH_<name>.json artifacts in $dir)"
-  "$root/$dir/bench/sim_hotpath" --quick --out="$root/$dir/BENCH_sim.json"
+  # --sample fast arms the WindowSampler gates inside the harness: sampled
+  # speedup >= 3x over the flat core AND extrapolated traffic within 1% of
+  # the exact report, per platform config — on top of the trajectory diff.
+  "$root/$dir/bench/sim_hotpath" --quick --sample fast --out="$root/$dir/BENCH_sim.json"
   "$root/$dir/bench/sweep_engine" --quick --out="$root/$dir/BENCH_sweep.json"
   "$root/$dir/bench/cache_effectiveness" --quick --cache-dir="$scratch" \
       --out="$root/$dir/BENCH_cache.json"

@@ -136,11 +136,22 @@ struct Verification {
   std::string note;
 };
 
+/// How the stage-1 probe traffic was obtained (sim/window_sampler.hpp).
+/// Exact runs leave this defaulted; under SamplingMode::kFast the probe
+/// records through a WindowSampler and reports the extrapolation bound
+/// here — rendered into the payload and echoed in protocol-v2 envelopes
+/// so clients can tell fast answers from exact ones.
+struct SamplingInfo {
+  bool sampled = false;
+  double max_rel_error = 0.0;  ///< per-tier extrapolation error bound
+};
+
 struct AdviseResult {
   AdviseRequest request;
   Placement placement;
   Recommendation recommendation;
   Verification verification;
+  SamplingInfo sampling;
 };
 
 /// Process-wide verify switch (hot-reloadable via the serve "config"
@@ -178,5 +189,14 @@ std::string run_and_render(const AdviseRequest& req);
 /// `footprint_bytes` at 0 (kernel- and platform-dependent; mirrors the
 /// paper's table input ranges).
 double default_footprint_bytes(core::KernelId kernel, const sim::Platform& baseline);
+
+/// Scans a rendered advise payload for its "sampling" section. Returns
+/// true and fills `sampled` / `max_rel_error_hex` (the %a hex string,
+/// verbatim for byte-stable re-rendering) when the payload carries one.
+/// This is how the serve dispatcher derives the protocol-v2 envelope's
+/// sampled/max_rel_error members from a fresh OR cache-served payload
+/// without re-running the pipeline.
+bool payload_sampling(std::string_view payload, bool* sampled,
+                      std::string* max_rel_error_hex);
 
 }  // namespace opm::advise

@@ -85,12 +85,13 @@ void write_sweep_stats_csv(std::ostream& os, const std::vector<SweepStats>& stat
   util::CsvWriter csv(os);
   csv.header({"sweep", "workers", "items", "tasks", "steals", "wall_s", "busy_s",
               "speedup_est", "cache_hits", "cache_misses", "cache_loaded_b",
-              "cache_stored_b", "cache_s", "cache_src", "sim_lines", "sim_lines_per_s"});
+              "cache_stored_b", "cache_s", "cache_src", "sim_lines", "sim_lines_per_s",
+              "sampled", "max_rel_err"});
   for (const auto& s : stats)
     csv.row(s.name, s.workers, s.items, s.tasks, s.steals, s.wall_seconds, s.busy_seconds,
             s.speedup_estimate(), s.cache_hits, s.cache_misses, s.cache_bytes_loaded,
             s.cache_bytes_stored, s.cache_seconds, s.cache_source, s.sim_lines,
-            s.sim_lines_per_sec());
+            s.sim_lines_per_sec(), s.sampled ? 1 : 0, s.max_rel_error);
 }
 
 std::string sweep_stats_json(const SweepStats& s) {
@@ -103,7 +104,9 @@ std::string sweep_stats_json(const SweepStats& s) {
      << s.cache_bytes_loaded << ",\"stored_b\":" << s.cache_bytes_stored
      << ",\"seconds\":" << s.cache_seconds << ",\"source\":\"" << s.cache_source
      << "\"},\"sim_lines\":" << s.sim_lines
-     << ",\"sim_lines_per_s\":" << s.sim_lines_per_sec() << ",\"worker_busy_s\":[";
+     << ",\"sim_lines_per_s\":" << s.sim_lines_per_sec()
+     << ",\"sampled\":" << (s.sampled ? "true" : "false")
+     << ",\"max_rel_error\":" << s.max_rel_error << ",\"worker_busy_s\":[";
   for (std::size_t i = 0; i < s.worker_busy_seconds.size(); ++i)
     os << (i ? "," : "") << s.worker_busy_seconds[i];
   os << "]}";
@@ -137,7 +140,10 @@ SweepTimer::SweepTimer(const char* name, std::size_t items, util::ThreadPool* po
   if (t_sweep_depth > 1 || (pool_ && pool_->on_worker_thread())) return;
   active_ = true;
   if (pool_) before_ = pool_->worker_counters();
-  sim_lines_before_ = util::MetricsRegistry::instance().counter("sim.lines_simulated").value();
+  auto& reg = util::MetricsRegistry::instance();
+  sim_lines_before_ = reg.counter("sim.lines_simulated").value();
+  sampled_windows_before_ = reg.counter("sim.sampled_windows").value();
+  rel_error_before_ = reg.double_counter("sim.sampling_rel_error").value();
   t0_ = std::chrono::steady_clock::now();
 }
 
@@ -155,8 +161,12 @@ void SweepTimer::stop() {
   // Simulated-line delta over the sweep. MemorySystems publish their line
   // counts at report()/reset()/destruction (watermark scheme), all of
   // which happen inside the per-item task for trace-driven sweeps.
-  s.sim_lines = util::MetricsRegistry::instance().counter("sim.lines_simulated").value() -
-                sim_lines_before_;
+  auto& reg = util::MetricsRegistry::instance();
+  s.sim_lines = reg.counter("sim.lines_simulated").value() - sim_lines_before_;
+  s.sampled = reg.counter("sim.sampled_windows").value() > sampled_windows_before_;
+  if (s.sampled)
+    s.max_rel_error =
+        reg.double_counter("sim.sampling_rel_error").value() - rel_error_before_;
   if (pool_ == nullptr) {
     s.workers = 0;
     s.tasks = 1;

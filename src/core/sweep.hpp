@@ -58,6 +58,13 @@ struct SweepStats {
   /// "sim.lines_simulated" metric; 0 for purely analytical sweeps).
   std::uint64_t sim_lines = 0;
 
+  /// Sampled-simulation telemetry (sim/window_sampler.hpp): true when any
+  /// WindowSampler finalized during this sweep, with the summed per-run
+  /// error bounds (delta of "sim.sampling_rel_error" — a sum of maxima,
+  /// so it upper-bounds the worst single run). False/0 for exact sweeps.
+  bool sampled = false;
+  double max_rel_error = 0.0;
+
   /// busy_seconds approximates the serial wall time of the same sweep, so
   /// busy/wall estimates the speedup actually delivered by the pool.
   double speedup_estimate() const {
@@ -132,6 +139,8 @@ class SweepTimer {
   bool stopped_ = false;
   std::vector<util::ThreadPool::WorkerCounters> before_;
   std::uint64_t sim_lines_before_ = 0;  ///< "sim.lines_simulated" watermark
+  std::uint64_t sampled_windows_before_ = 0;  ///< "sim.sampled_windows" watermark
+  double rel_error_before_ = 0.0;  ///< "sim.sampling_rel_error" watermark
   std::chrono::steady_clock::time_point t0_;
 };
 

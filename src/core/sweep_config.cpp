@@ -55,6 +55,8 @@ SweepConfig apply_env(SweepConfig base) {
   if (truthy(env_str("OPM_NO_CACHE"))) base.cache.enabled = false;
   if (const std::string v = env_str("OPM_SWEEP_STATS"); !v.empty())
     base.telemetry = truthy(v);
+  if (const std::string v = env_str("OPM_SAMPLE"); !v.empty())
+    sim::parse_sampling_mode(v, &base.sampling);
   return base;
 }
 
@@ -78,6 +80,7 @@ SweepConfig resolve_sweep_config(int argc, const char* const* argv) {
   }
   if (cli.has("no-cache")) cfg.cache.enabled = false;
   if (cli.has("no-sweep-stats")) cfg.telemetry = false;
+  if (cli.has("sample")) sim::parse_sampling_mode(cli.get("sample", ""), &cfg.sampling);
   return cfg;
 }
 
@@ -85,6 +88,7 @@ void apply_sweep_config(const SweepConfig& config) {
   set_sweep_workers(config.workers);
   configure_result_cache(config.cache);
   set_sweep_telemetry(config.telemetry);
+  sim::set_sampling_mode(config.sampling);
 }
 
 void set_sweep_telemetry(bool enabled) {

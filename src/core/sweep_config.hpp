@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "core/result_cache.hpp"
+#include "sim/window_sampler.hpp"
 
 /// The consolidated runtime-knob surface for the sweep engine.
 ///
@@ -18,6 +19,7 @@
 ///   cache.enabled        --no-cache             OPM_NO_CACHE=1
 ///   cache.max_disk_bytes --cache-max-bytes=N    OPM_CACHE_MAX_BYTES=N
 ///   telemetry            --no-sweep-stats       OPM_SWEEP_STATS=0
+///   sampling             --sample=off|fast      OPM_SAMPLE=off|fast
 ///
 /// Tests and libraries that need one specific knob can still call
 /// set_sweep_workers() / configure_result_cache() directly.
@@ -27,6 +29,12 @@ struct SweepConfig {
   std::size_t workers = 0;  ///< sweep worker count (0 = serial inline)
   bool telemetry = true;    ///< bench harnesses emit SweepStats blocks
   CacheConfig cache;        ///< result-cache tiers (core/result_cache.hpp)
+  /// Trace-simulation sampling (sim/window_sampler.hpp). kOff = every
+  /// simulation is exact; kFast = sampling-aware consumers (the advise
+  /// probe) run a WindowSampler and surface sampled:true + the error
+  /// bound. Sampled and exact results are keyed separately in the
+  /// ResultCache, so flipping this never aliases cached payloads.
+  sim::SamplingMode sampling = sim::SamplingMode::kOff;
 };
 
 /// Bench-harness defaults: hardware-concurrency workers, telemetry on, and

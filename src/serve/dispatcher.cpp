@@ -28,6 +28,17 @@ protocol::Error rejection(const char* category, const char* message, int retry_a
   return e;
 }
 
+/// Derives the v2 envelope's sampled/max_rel_error members from the
+/// rendered payload (fresh, coalesced, or cache-served — all the same
+/// text), so the fast-or-exact contract holds on every serving path
+/// without threading sampling state through execute().
+protocol::SampleNote sample_note(const protocol::Request& req, const std::string& payload) {
+  protocol::SampleNote note;
+  if (req.type == protocol::RequestType::kAdvise)
+    advise::payload_sampling(payload, &note.sampled, &note.max_rel_error_hex);
+  return note;
+}
+
 }  // namespace
 
 struct Dispatcher::Impl {
@@ -159,7 +170,8 @@ struct Dispatcher::Impl {
         auto payload = std::make_shared<const std::string>(protocol::execute(item.req));
         computed.add(1);
         flights.complete(flight, payload);
-        answer(item.respond, protocol::render_response(env, item.req.type, *payload));
+        answer(item.respond, protocol::render_response(env, item.req.type, *payload,
+                                                       sample_note(item.req, *payload)));
       } catch (const std::exception& e) {
         flights.fail(flight);
         errors_internal.add(1);
@@ -176,7 +188,8 @@ struct Dispatcher::Impl {
     const core::SingleFlight::Payload payload = flights.share(flight);
     if (payload) {
       coalesce_hits.add(1);
-      answer(item.respond, protocol::render_response(env, item.req.type, *payload));
+      answer(item.respond, protocol::render_response(env, item.req.type, *payload,
+                                                     sample_note(item.req, *payload)));
     } else {
       errors_internal.add(1);
       answer(item.respond,

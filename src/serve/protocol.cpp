@@ -539,11 +539,23 @@ std::string shard_member(const Envelope& env) {
 
 std::string render_response(const Envelope& env, RequestType type,
                             const std::string& payload) {
+  return render_response(env, type, payload, SampleNote{});
+}
+
+std::string render_response(const Envelope& env, RequestType type,
+                            const std::string& payload, const SampleNote& note) {
   std::string out = envelope_prefix(env);
   out += ",\"ok\":true,\"type\":\"";
   out += to_string(type);
   out += '"';
   out += shard_member(env);
+  // The fast-or-exact contract: only sampled v2 responses carry the
+  // members, so exact-mode and v1 byte streams are unchanged.
+  if (env.version == 2 && note.sampled) {
+    out += ",\"sampled\":true,\"max_rel_error\":\"";
+    out += util::json_escape(note.max_rel_error_hex);
+    out += '"';
+  }
   out += ",\"payload\":\"";
   out += util::json_escape(payload);
   out += "\"}";
@@ -645,6 +657,14 @@ bool parse_response(std::string_view line, ResponseView* out) {
     out->stats = util::serialize_json(*stats);
     return true;
   }
+  if (const util::JsonValue* sampled = doc->find("sampled")) {
+    if (!sampled->is_bool()) return false;
+    out->sampled = sampled->boolean;
+  }
+  if (const util::JsonValue* rel = doc->find("max_rel_error")) {
+    if (!rel->is_string()) return false;
+    out->max_rel_error = rel->string;
+  }
   if (const util::JsonValue* payload = doc->find("payload")) {
     if (!payload->is_string()) return false;
     out->payload = payload->string;
@@ -663,7 +683,8 @@ std::string render_view(const Envelope& env, const ResponseView& view) {
   else if (view.type == "footprint") type = RequestType::kFootprint;
   else if (view.type == "advise") type = RequestType::kAdvise;
   else if (view.type == "config") type = RequestType::kConfig;
-  return render_response(env, type, view.payload);
+  return render_response(env, type, view.payload,
+                         SampleNote{view.sampled, view.max_rel_error});
 }
 
 }  // namespace opm::serve::protocol

@@ -193,10 +193,27 @@ std::string execute(const Request& req);
 /// as C99 hex floats (%a) so the text round-trips bit-exactly.
 std::string render_points_csv(const std::vector<core::SweepPoint>& points);
 
+/// Sampled-simulation annotation for a response envelope (the fast-or-exact
+/// serve contract). When the advise pipeline ran its stage-1 probe under
+/// SamplingMode::kFast, v2 envelopes carry `"sampled":true` plus the
+/// extrapolation error bound so clients can tell a fast answer from an
+/// exact one without parsing the payload. `max_rel_error_hex` is the
+/// payload's own %a hex-float string, passed through verbatim so
+/// parse-then-re-render stays byte-stable. Exact responses (and all v1
+/// responses) carry neither member — their bytes are unchanged.
+struct SampleNote {
+  bool sampled = false;
+  std::string max_rel_error_hex;  ///< C99 %a text, e.g. "0x1.9p-9"
+};
+
 /// Response lines (no trailing newline), versioned by the envelope. v1
 /// renders are byte-identical to the pre-v2 service.
 std::string render_response(const Envelope& env, RequestType type,
                             const std::string& payload);
+/// As above, annotating v2 envelopes with the sampled members when
+/// note.sampled (v1 envelopes ignore the note entirely).
+std::string render_response(const Envelope& env, RequestType type,
+                            const std::string& payload, const SampleNote& note);
 std::string render_error(const Envelope& env, const Error& err);
 std::string render_stats(const Envelope& env, const std::string& stats_json);
 std::string render_pong(const Envelope& env);
@@ -223,6 +240,8 @@ struct ResponseView {
   std::string payload;  ///< sweep responses
   std::string stats;    ///< stats responses: the raw nested JSON object
   Error error;          ///< when !ok
+  bool sampled = false;       ///< v2 only: fast (sampled) answer
+  std::string max_rel_error;  ///< verbatim %a hex text when sampled
 };
 
 /// Parses one response line into a view. False when the line is not a

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/cache.hpp"
+#include "sim/simd_probe.hpp"
 
 /// Flat, preallocated, structure-of-arrays cache core — the simulation
 /// hot path.
@@ -36,6 +37,12 @@
 /// sequence are bit-identical to SetAssociativeCache. Internal LRU/FIFO
 /// stamps may hold different absolute clock values than the reference, but
 /// their *ordering* — the only thing victim selection reads — is the same.
+///
+/// The way scans themselves are vectorized: with one packed word per way
+/// and a set's words contiguous, the tag compare across 8–16 ways is a
+/// single SIMD compare (sim/simd_probe.hpp — AVX2/SSE2/scalar tiers; the
+/// scalar path is the bit-identity oracle and simd::self_check() verifies
+/// the selected backend against it at runtime in CI).
 ///
 /// Layout constraint: the packed word keeps the tag in bits [3, 64), so
 /// line_size * sets must be >= 8 bytes (true for any realistic geometry;
@@ -109,6 +116,8 @@ class FlatCache {
   static constexpr std::uint64_t kDirty = 2ull;
   static constexpr std::uint64_t kAllocated = 4ull;
   static constexpr std::uint32_t kTagShift = 3;
+  static_assert(simd::kProbeDirtyBit == kDirty && simd::kProbeAllocatedBit == kAllocated,
+                "simd_probe.hpp mirrors the packed way-word layout");
 
   static constexpr std::uint32_t kPageShift = 12;  ///< 4096 sets per page
   static constexpr std::uint64_t kPageMask = (1ull << kPageShift) - 1;
@@ -181,22 +190,14 @@ inline bool FlatCache::try_hit(std::uint64_t line_addr, bool is_write) {
   if (use_mru_) {
     way = page.mru[local_set];
     if ((meta[way] & ~kDirty) != want) {
-      for (way = 0;; ++way) {
-        if (way == assoc_) return false;
-        const std::uint64_t m = meta[way];
-        if ((m & kAllocated) == 0) return false;  // allocated ways are a prefix
-        if ((m & ~kDirty) == want) break;
-      }
+      way = simd::find_way(meta, assoc_, want);  // whole-set SIMD compare
+      if (way == assoc_) return false;
       page.mru[local_set] = static_cast<std::uint8_t>(way);
     }
   } else if ((meta[0] & ~kDirty) != want) {
     if (assoc_ == 1) return false;
-    for (way = 1;; ++way) {
-      if (way == assoc_) return false;
-      const std::uint64_t m = meta[way];
-      if ((m & kAllocated) == 0) return false;
-      if ((m & ~kDirty) == want) break;
-    }
+    way = simd::find_way(meta, assoc_, want);
+    if (way == assoc_) return false;
   }
 
   ++clock_;
@@ -220,16 +221,13 @@ inline CacheResult FlatCache::access(std::uint64_t line_addr, bool is_write) {
     const std::uint64_t local_set = set & kPageMask;
     std::uint64_t* meta = page.meta.get() + local_set * assoc_;
     const std::uint64_t want = (tag << kTagShift) | kAllocated | kValid;
-    for (std::uint32_t way = 0; way < assoc_; ++way) {
-      const std::uint64_t m = meta[way];
-      if ((m & kAllocated) == 0) break;  // allocated ways form a prefix
-      if ((m & ~kDirty) == want) {
-        if (is_write) meta[way] |= kDirty;
-        if (stamp_on_hit_) page.stamp[local_set * assoc_ + way] = clock_;
-        if (use_mru_) page.mru[local_set] = static_cast<std::uint8_t>(way);
-        ++stats_.hits;
-        return {.hit = true};
-      }
+    const std::uint32_t way = simd::find_way(meta, assoc_, want);
+    if (way != assoc_) {
+      if (is_write) meta[way] |= kDirty;
+      if (stamp_on_hit_) page.stamp[local_set * assoc_ + way] = clock_;
+      if (use_mru_) page.mru[local_set] = static_cast<std::uint8_t>(way);
+      ++stats_.hits;
+      return {.hit = true};
     }
   }
   return demand_miss(set, tag, is_write);
@@ -244,15 +242,12 @@ inline CacheResult FlatCache::install(std::uint64_t line_addr, bool dirty) {
     const std::uint64_t local_set = set & kPageMask;
     std::uint64_t* meta = page.meta.get() + local_set * assoc_;
     const std::uint64_t want = (tag << kTagShift) | kAllocated | kValid;
-    for (std::uint32_t way = 0; way < assoc_; ++way) {
-      const std::uint64_t m = meta[way];
-      if ((m & kAllocated) == 0) break;
-      if ((m & ~kDirty) == want) {
-        if (dirty) meta[way] |= kDirty;
-        if (stamp_on_hit_) page.stamp[local_set * assoc_ + way] = clock_;
-        if (use_mru_) page.mru[local_set] = static_cast<std::uint8_t>(way);
-        return {.hit = true};
-      }
+    const std::uint32_t way = simd::find_way(meta, assoc_, want);
+    if (way != assoc_) {
+      if (dirty) meta[way] |= kDirty;
+      if (stamp_on_hit_) page.stamp[local_set * assoc_ + way] = clock_;
+      if (use_mru_) page.mru[local_set] = static_cast<std::uint8_t>(way);
+      return {.hit = true};
     }
   }
   return install_fill(set, tag, dirty);
@@ -268,12 +263,7 @@ inline bool FlatCache::contains(std::uint64_t line_addr) const {
   // MRU hint (the way last filled/hit in this set) answers those in one
   // load without disturbing replacement state.
   if (use_mru_ && (meta[page.mru[set & kPageMask]] & ~kDirty) == want) return true;
-  for (std::uint32_t way = 0; way < assoc_; ++way) {
-    const std::uint64_t m = meta[way];
-    if ((m & kAllocated) == 0) return false;
-    if ((m & ~kDirty) == want) return true;
-  }
-  return false;
+  return simd::find_way(meta, assoc_, want) != assoc_;
 }
 
 inline bool FlatCache::invalidate(std::uint64_t line_addr, bool& was_dirty) {
@@ -282,19 +272,15 @@ inline bool FlatCache::invalidate(std::uint64_t line_addr, bool& was_dirty) {
   if (page.meta == nullptr) return false;
   std::uint64_t* meta = page.meta.get() + (set & kPageMask) * assoc_;
   const std::uint64_t want = (tag_of(line_addr) << kTagShift) | kAllocated | kValid;
-  for (std::uint32_t way = 0; way < assoc_; ++way) {
-    const std::uint64_t m = meta[way];
-    if ((m & kAllocated) == 0) return false;
-    if ((m & ~kDirty) == want) {
-      was_dirty = (m & kDirty) != 0;
-      // The way stays allocated with its stale tag — exactly the
-      // reference's invalidate, which keeps the Way slot in the vector;
-      // a later full-set eviction can still pick (and count) it.
-      meta[way] = m & ~(kValid | kDirty);
-      return true;
-    }
-  }
-  return false;
+  const std::uint32_t way = simd::find_way(meta, assoc_, want);
+  if (way == assoc_) return false;
+  const std::uint64_t m = meta[way];
+  was_dirty = (m & kDirty) != 0;
+  // The way stays allocated with its stale tag — exactly the reference's
+  // invalidate, which keeps the Way slot in the vector; a later full-set
+  // eviction can still pick (and count) it.
+  meta[way] = m & ~(kValid | kDirty);
+  return true;
 }
 
 inline CacheResult FlatCache::demand_miss(std::uint64_t set, std::uint64_t tag,

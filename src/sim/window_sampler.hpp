@@ -1,0 +1,214 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/memory_system.hpp"
+#include "sim/platform.hpp"
+#include "util/fingerprint.hpp"
+
+/// Sampled trace-driven simulation — the "fast" tier of the fast-or-exact
+/// contract (docs/MODEL.md §16).
+///
+/// The exact simulator walks every line-granular access through the full
+/// cache hierarchy; for big sweeps that walk IS the cost. The obvious
+/// accelerator — simulate a systematic subset of trace *windows* and
+/// extrapolate — founders on state: a cache remembers millions of lines,
+/// so every skipped window leaves the far tiers (L3, eDRAM, MCDRAM)
+/// stale, and re-warming them costs as much as not skipping at all (the
+/// SMARTS functional-warming bind: in a functional simulator the "cheap
+/// warming" path and the full path are the same code). Measured on this
+/// repo's hot-path trace, time-window sampling put L3 hits 4x off and
+/// extrapolated L3 writebacks to zero.
+///
+/// WindowSampler therefore samples **space, not time**: it simulates a
+/// deterministic 1/S slice of the line-address universe, chosen as whole
+/// cache-set populations so the sampled sets feel their exact, full
+/// pressure across the entire trace — no skipped state, no warm-up bias.
+///
+///   * Filter. A line is sampled iff its index mod 64 falls in a set of
+///     64/S residues forming an arithmetic progression with an odd,
+///     seed-derived step. The AP covers every residue class mod 2^k
+///     uniformly (2^k <= 64/S), so power-of-two strided walks — the
+///     dominant HPC access pattern — are sampled exactly proportionally
+///     instead of aliasing against the filter.
+///   * Compression. Sampled lines are renumbered densely (block index x
+///     ranks-per-half + rank) and replayed against a platform whose tier
+///     capacities are scaled to match. Because every tier indexes sets
+///     by low line bits, sampled original sets map 1:1 onto the shrunken
+///     system's sets with identical line populations: per-set LRU/MRU
+///     behavior is bit-exact to the full simulation restricted to the
+///     slice. Compression also keeps sequential streams sequential, so
+///     the stream prefetcher locks on as it would at full scale.
+///   * Error bound via half-slices. The slice runs as TWO independent
+///     half-slices (the low and high halves of the residue progression,
+///     each itself an odd-step AP), each against its own 1/(2S)-scaled
+///     hierarchy. The combined counters extrapolate by observed_lines /
+///     sampled_lines; the per-counter bound is the half-sample estimate
+///     |Ya - Yb| / (Ya + Yb) — a direct measurement of the spatial
+///     sampling error, maxed over every counter carrying at least 1% of
+///     line traffic. (A window-variance bound was tried first and
+///     rejected: it measures phase heterogeneity, ~50% on a trace whose
+///     true extrapolation error is 0.1%.)
+///   * Exactness floor. The head of the trace is buffered; a stream that
+///     ends before `min_exact_lines` is replayed through an exact
+///     full-platform system instead (sampled = false) — short probes pay
+///     nothing and lose nothing.
+///
+/// Determinism: the schedule is a pure function of (seed, line address).
+/// Same digest + seed => byte-identical SampledTraffic, at any sweep
+/// worker count.
+namespace opm::sim {
+
+/// Process-wide sampling switch (core::SweepConfig plumbs --sample /
+/// OPM_SAMPLE here; the advise probe and benches consult it).
+enum class SamplingMode {
+  kOff,   ///< exact simulation everywhere
+  kFast,  ///< sampled simulation with error bounds
+};
+
+const char* to_string(SamplingMode mode);
+bool parse_sampling_mode(std::string_view text, SamplingMode* out);
+void set_sampling_mode(SamplingMode mode);
+SamplingMode sampling_mode();
+
+/// Knobs of one sampled run. Defaults are the tuned trade: 1/8 of the
+/// set groups simulated (~8x less simulation work) with sub-percent
+/// extrapolation error on the hot-path trace mix.
+struct SampleConfig {
+  std::uint64_t window_lines = 8192;      ///< observed-line window (progress unit)
+  std::uint32_t slice = 8;                ///< simulate 1 of every `slice` set groups
+                                          ///< (clamped to a power of two in [1, 32];
+                                          ///< 1 = exact simulation)
+  std::uint64_t min_exact_lines = 16384;  ///< shorter traces are simulated exactly
+  std::uint64_t seed = 0;                 ///< selects the sampled residues
+
+  bool operator==(const SampleConfig&) const = default;
+};
+
+/// Canonical config for a request: the seed folds the 128-bit request
+/// digest, so sampled results stay content-addressed — the same request
+/// always samples the same sets, and different requests decorrelate.
+SampleConfig sample_config_for(const util::Digest128& digest);
+
+/// What a sampled run produced.
+struct SampledTraffic {
+  TrafficReport traffic;       ///< extrapolated (or exact, when !sampled)
+  bool sampled = false;        ///< false: trace was short, report is exact
+  double max_rel_error = 0.0;  ///< error bound, max over significant counters
+  std::uint64_t windows_measured = 0;
+  std::uint64_t lines_observed = 0;   ///< full trace, line granular
+  std::uint64_t lines_simulated = 0;  ///< lines actually fed to the hierarchy
+};
+
+/// Records a trace like trace::SystemRecorder, simulating only the
+/// sampled slice. Satisfies the trace::Recorder concept plus the
+/// MemorySystem recording surface (access_range, store_nt,
+/// enable_prefetcher), so kernels and benches drive it unchanged.
+class WindowSampler {
+ public:
+  WindowSampler(const Platform& platform, const SampleConfig& config);
+  WindowSampler(const WindowSampler&) = delete;
+  WindowSampler& operator=(const WindowSampler&) = delete;
+
+  void load(std::uint64_t addr, std::uint64_t size) { on_access(addr, size, false, false); }
+  void store(std::uint64_t addr, std::uint64_t size) { on_access(addr, size, true, false); }
+  void access(std::uint64_t addr, std::uint64_t size, bool is_write) {
+    on_access(addr, size, is_write, false);
+  }
+  void access_range(std::uint64_t addr, std::uint64_t size, bool is_write) {
+    on_access(addr, size, is_write, false);
+  }
+  void store_nt(std::uint64_t addr, std::uint64_t size) { on_access(addr, size, true, true); }
+
+  void enable_prefetcher(std::uint32_t streams = 16, std::uint32_t depth = 4);
+
+  /// Finalizes (idempotent) and returns the extrapolated report.
+  const SampledTraffic& sampled_report();
+
+  /// Full observed line count — the work the sample stands in for, so
+  /// lines/sec rates over a sampled run stay comparable to exact runs.
+  std::uint64_t lines_simulated() const { return pos_; }
+  std::uint64_t lines_observed() const { return pos_; }
+
+ private:
+  /// Residue modulus of the sampling filter (line-index units, unrelated
+  /// to the byte line size). 64 keeps the rank table in one cache line
+  /// and yields whole-set populations for every tier with >= 64 sets.
+  static constexpr std::uint64_t kResidueSpan = 64;
+
+  void on_access(std::uint64_t addr, std::uint64_t size, bool is_write, bool nt) {
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint64_t nlines =
+        ((addr & line_mask_) + size + line_mask_) >> line_shift_;
+    pos_ += nlines;
+    bytes_ += size;
+    if (buffering_) {
+      buffer_.push_back(Op{addr, size, is_write, nt});
+      if (pos_ >= config_.min_exact_lines) flush_buffer();
+      return;
+    }
+    if (exact_) {
+      if (nt) {
+        half_a_.store_nt(addr, size);
+      } else {
+        half_a_.access_range(addr, size, is_write);
+      }
+      return;
+    }
+    if (nlines == 1) {
+      // The dominant path is "not sampled": test a register-resident
+      // bitmask first so dropped lines never touch the rank table.
+      if ((sample_mask_ >> (line & (kResidueSpan - 1))) & 1)
+        forward_line(line, rank_[line & (kResidueSpan - 1)], addr & line_mask_, size,
+                     is_write, nt);
+    } else {
+      forward_span(addr, size, is_write, nt);
+    }
+  }
+
+  /// Replays one sampled line into its half-slice system at the
+  /// compressed address, preserving the intra-line byte range.
+  void forward_line(std::uint64_t line, std::int8_t rank, std::uint64_t offset,
+                    std::uint64_t size, bool is_write, bool nt);
+  /// Splits a multi-line access and forwards its sampled lines.
+  void forward_span(std::uint64_t addr, std::uint64_t size, bool is_write, bool nt);
+  void flush_buffer();
+
+  struct Op {
+    std::uint64_t addr;
+    std::uint64_t size;
+    bool is_write;
+    bool nt;
+  };
+
+  Platform platform_;  ///< full platform (exact replay of short traces)
+  SampleConfig config_;
+  bool exact_;            ///< slice == 1: half_a_ is the full-platform system
+  MemorySystem half_a_;   ///< ranks [0, ranks_/2) — or the exact system
+  MemorySystem half_b_;   ///< ranks [ranks_/2, ranks_) — idle when exact_
+  std::uint64_t line_mask_ = 63;
+  std::uint32_t line_shift_ = 6;
+  std::uint32_t ranks_ = 8;       ///< sampled residues (kResidueSpan / slice)
+  std::uint32_t half_ranks_ = 4;  ///< residues per half-slice
+  std::uint64_t sample_mask_ = 0;        ///< bit r set iff residue r is sampled
+  std::int8_t rank_[kResidueSpan] = {};  ///< residue -> rank, -1 = dropped
+  bool prefetcher_ = false;
+  std::uint32_t pf_streams_ = 16;
+  std::uint32_t pf_depth_ = 4;
+
+  std::uint64_t pos_ = 0;    ///< observed lines
+  std::uint64_t bytes_ = 0;  ///< observed bytes
+  std::uint64_t half_lines_[2] = {0, 0};  ///< sampled lines per half-slice
+  bool buffering_ = true;
+  std::vector<Op> buffer_;
+
+  std::uint64_t windows_ = 0;  ///< observed window_lines chunks (progress metric,
+                               ///< derived from pos_ when the report finalizes)
+
+  bool finalized_ = false;
+  SampledTraffic result_;
+};
+
+}  // namespace opm::sim

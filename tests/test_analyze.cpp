@@ -278,6 +278,30 @@ TEST(Metrics, ReadOnlyValueCallsAreReferencesNotDefinitions) {
       << testing::PrintToString(ks);
 }
 
+TEST(Metrics, SamplerCountersResolveAcrossOwnerAndReader) {
+  // The PR-10 sampling counters mirror the real topology: defined once in
+  // sim/window_sampler.cpp, read as sweep watermarks by core/sweep.cpp.
+  // The cross-file read is exactly the silent-zero shape the pass guards.
+  const std::vector<SourceFile> tree = {
+      {"src/sim/window_sampler.cpp",
+       "void f() { registry.counter(\"sim.sampled_windows\").add(1);\n"
+       "  registry.double_counter(\"sim.sampling_rel_error\").add(e); }\n"},
+      {"src/core/sweep.cpp",
+       "bool g() { return reg.counter(\"sim.sampled_windows\").value() > 0; }\n"
+       "double h() { return reg.double_counter(\"sim.sampling_rel_error\").value(); }\n"},
+  };
+  EXPECT_TRUE(analyze_sources(tree, {}, "metrics").findings.empty());
+  // A truncated read of the error counter no longer resolves. (The bad
+  // name is assembled at runtime: a metric-shaped literal here would be
+  // an undefined reference in the repo's own self-scan below.)
+  const std::string trunc = std::string("sim") + ".sampling_rel";
+  auto typo = tree;
+  typo[1].content = "double h() { return reg.double_counter(\"" + trunc + "\").value(); }\n";
+  const auto ks = keys(analyze_sources(typo, {}, "metrics"));
+  EXPECT_NE(std::find(ks.begin(), ks.end(), "metrics/name:" + trunc + ":undefined"), ks.end())
+      << testing::PrintToString(ks);
+}
+
 // ---------------------------------------------------------- pass: layering --
 
 TEST(Layering, UtilIncludingUpperLayerIsFlagged) {

@@ -164,11 +164,26 @@ TEST(BenchDiff, MissingBaselineMetricFails) {
   EXPECT_EQ(d.exit_code(), 1);
 }
 
-TEST(BenchDiff, NewMetricIsANoteNotAFailure) {
+TEST(BenchDiff, NewMetricIsUncoveredByDefault) {
+  // A metric the harness emits but the baseline does not gate means the
+  // committed trajectory is stale: fail by default.
   const auto base = report({metric("m", 100.0, 0.02)});
   const auto cur = report({metric("m", 100.0, 0.02), metric("brand_new", 1.0, 0.02)});
   const DiffResult d = diff_reports(base, cur);
+  EXPECT_EQ(d.exit_code(), 1);
+  EXPECT_TRUE(d.notes.empty());
+  ASSERT_EQ(d.rows.size(), 2u);
+  EXPECT_EQ(d.rows[1].name, "brand_new");
+  EXPECT_EQ(d.rows[1].status, Status::kUncovered);
+  EXPECT_EQ(d.rows[1].cur_median, 1.0);
+}
+
+TEST(BenchDiff, AllowNewDowngradesUncoveredToNote) {
+  const auto base = report({metric("m", 100.0, 0.02)});
+  const auto cur = report({metric("m", 100.0, 0.02), metric("brand_new", 1.0, 0.02)});
+  const DiffResult d = diff_reports(base, cur, Tolerance{}, /*allow_new=*/true);
   EXPECT_EQ(d.exit_code(), 0);
+  ASSERT_EQ(d.rows.size(), 1u);
   ASSERT_EQ(d.notes.size(), 1u);
   EXPECT_NE(d.notes[0].find("brand_new"), std::string::npos);
 }

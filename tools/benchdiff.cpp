@@ -17,6 +17,7 @@ const char* status_label(Status s) {
     case Status::kImproved: return "improved";
     case Status::kRegression: return "REGRESSION";
     case Status::kMissing: return "MISSING";
+    case Status::kUncovered: return "UNCOVERED";
   }
   return "?";
 }
@@ -33,7 +34,8 @@ std::string signed_pct(double v) {
 
 bool DiffResult::regressed() const {
   return std::any_of(rows.begin(), rows.end(), [](const MetricDiff& r) {
-    return r.status == Status::kRegression || r.status == Status::kMissing;
+    return r.status == Status::kRegression || r.status == Status::kMissing ||
+           r.status == Status::kUncovered;
   });
 }
 
@@ -43,7 +45,7 @@ int DiffResult::exit_code() const {
 }
 
 DiffResult diff_reports(const util::BenchReport& base, const util::BenchReport& cur,
-                        const Tolerance& tol) {
+                        const Tolerance& tol, bool allow_new) {
   DiffResult result;
 
   if (base.bench != cur.bench) {
@@ -121,10 +123,21 @@ DiffResult diff_reports(const util::BenchReport& base, const util::BenchReport& 
     result.rows.push_back(std::move(row));
   }
 
+  // Uncovered current metrics: the harness measures something the
+  // committed baseline does not gate. That is a stale baseline — a
+  // failure by default, so new metrics cannot silently ride along
+  // ungated; --allow-new waives it for an intentional transition.
   for (const auto& cm : cur.metrics) {
-    if (base.find_metric(cm.name) == nullptr) {
+    if (base.find_metric(cm.name) != nullptr) continue;
+    if (allow_new) {
       result.notes.push_back("new metric '" + cm.name +
                              "' (not in baseline; commit an updated baseline to gate it)");
+    } else {
+      MetricDiff row;
+      row.name = cm.name;
+      row.cur_median = cm.summary.median;
+      row.status = Status::kUncovered;
+      result.rows.push_back(std::move(row));
     }
   }
   return result;
@@ -138,6 +151,10 @@ void print_result(const DiffResult& result, const std::string& bench, std::ostre
     if (row.status == Status::kMissing) {
       out << "baseline median " << util::format_fixed(row.base_median, 3)
           << ", absent from current report";
+    } else if (row.status == Status::kUncovered) {
+      out << "current median " << util::format_fixed(row.cur_median, 3)
+          << ", absent from baseline (--update-baseline to gate it, "
+             "--allow-new to waive)";
     } else {
       out << util::pad(signed_pct(row.rel_delta), 9) << "(tol " << pct(row.tolerance)
           << ", median " << util::format_fixed(row.base_median, 3) << " -> "
@@ -152,7 +169,8 @@ void print_result(const DiffResult& result, const std::string& bench, std::ostre
   };
   out << "opm_benchdiff [" << bench << "]: " << result.rows.size() << " metric(s), "
       << count(Status::kRegression) << " regression(s), " << count(Status::kMissing)
-      << " missing, " << count(Status::kImproved) << " improved\n";
+      << " missing, " << count(Status::kUncovered) << " uncovered, "
+      << count(Status::kImproved) << " improved\n";
 }
 
 bool parse_double_flag(std::string_view arg, std::string_view prefix, double* value) {
@@ -166,7 +184,8 @@ bool parse_double_flag(std::string_view arg, std::string_view prefix, double* va
 }
 
 int usage(std::ostream& err) {
-  err << "usage: opm_benchdiff [--k=X] [--rel-floor=X] [--cv-floor=X] BASELINE CURRENT\n"
+  err << "usage: opm_benchdiff [--k=X] [--rel-floor=X] [--cv-floor=X] [--allow-new]\n"
+         "                     BASELINE CURRENT\n"
          "       opm_benchdiff --update-baseline BASELINE CURRENT\n"
          "       opm_benchdiff --validate FILE...\n";
   return 2;
@@ -178,6 +197,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
   Tolerance tol;
   bool update_baseline = false;
   bool validate = false;
+  bool allow_new = false;
   std::vector<std::string> paths;
 
   for (const auto& arg : args) {
@@ -185,6 +205,8 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
       update_baseline = true;
     } else if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--allow-new") {
+      allow_new = true;
     } else if (arg.rfind("--k=", 0) == 0 || arg.rfind("--rel-floor=", 0) == 0 ||
                arg.rfind("--cv-floor=", 0) == 0) {
       const bool ok = parse_double_flag(arg, "--k=", &tol.k) ||
@@ -248,7 +270,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     return 2;
   }
 
-  const DiffResult result = diff_reports(*baseline, *current, tol);
+  const DiffResult result = diff_reports(*baseline, *current, tol, allow_new);
   for (const auto& e : result.errors) err << "opm_benchdiff: " << e << "\n";
   print_result(result, baseline->bench, out);
   return result.exit_code();

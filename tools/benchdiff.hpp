@@ -20,10 +20,18 @@
 /// sanity floors; this diff against the committed trajectory is the real
 /// regression contract (docs/MODEL.md §12).
 ///
+/// Coverage is part of the contract in both directions: a baseline
+/// metric missing from the current report fails (something stopped being
+/// measured), and a current metric absent from the baseline fails too
+/// (the harness grew a metric the committed trajectory does not gate —
+/// a stale baseline). `--allow-new` downgrades the latter to a note for
+/// intentional transitions; the durable fix is `--update-baseline`.
+///
 /// Exit-code contract (mirrors opm_lint, pinned by tests/test_benchdiff):
 ///   0  every baseline metric present and within tolerance (improvements
 ///      included — they print, they never fail)
-///   1  at least one regression or baseline metric missing from current
+///   1  at least one regression, baseline metric missing from current,
+///      or current metric uncovered by the baseline (unless --allow-new)
 ///   2  structural incompatibility: unparsable/invalid file, schema
 ///      version skew, bench-name mismatch, knob set or value mismatch,
 ///      unit mismatch, usage error
@@ -40,6 +48,7 @@ enum class Status {
   kImproved,    ///< beyond tolerance in the *helpful* direction
   kRegression,  ///< beyond tolerance in the harmful direction
   kMissing,     ///< baseline metric absent from the current report
+  kUncovered,   ///< current metric absent from the baseline (stale baseline)
 };
 
 struct MetricDiff {
@@ -67,12 +76,14 @@ struct DiffResult {
 };
 
 /// Pure comparison — no IO, so tests can drive it with synthetic reports.
+/// `allow_new` downgrades uncovered current metrics to notes.
 DiffResult diff_reports(const util::BenchReport& base, const util::BenchReport& cur,
-                        const Tolerance& tol = {});
+                        const Tolerance& tol = {}, bool allow_new = false);
 
 /// CLI entry point (main() is a one-liner around this, so tests can pin
 /// the exit-code contract). Usage:
-///   opm_benchdiff [--k=X] [--rel-floor=X] [--cv-floor=X] BASELINE CURRENT
+///   opm_benchdiff [--k=X] [--rel-floor=X] [--cv-floor=X] [--allow-new]
+///                 BASELINE CURRENT
 ///   opm_benchdiff --update-baseline BASELINE CURRENT
 ///   opm_benchdiff --validate FILE...
 /// Diagnostics and the per-metric table go to `out`; usage/IO errors to
